@@ -1,0 +1,273 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper (DESIGN.md section 4 maps each to its experiment).
+//
+// Each benchmark regenerates its experiment at micro scale (tiny datasets,
+// few epochs) so `go test -bench=. -benchmem` finishes in minutes while still
+// executing the full code path — dataset synthesis, Tea/biased training,
+// Bernoulli deployment, spike-domain evaluation, and the paper's pairing
+// procedure. Model training is hoisted into a shared, lazily initialized
+// fixture so per-iteration cost reflects the measurement itself.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/eval"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/synth/digits"
+	"repro/internal/synth/protein"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixture     *eval.Runner
+)
+
+// runner returns the shared micro-scale Runner with bench-1 models trained.
+func runner(b *testing.B) *eval.Runner {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		opt := eval.Options{
+			Quick: true, Seed: 20160605,
+			TrainN: 600, TestN: 300, EpochsN: 3, RepeatsN: 2,
+		}
+		fixture = eval.NewRunner(opt, nil)
+	})
+	return fixture
+}
+
+// --------------------------------------------------------------- Table 1 --
+
+func BenchmarkTable1DatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dcfg := digits.Config{Train: 200, Test: 50, Seed: uint64(i + 1), Jitter: 1, Noise: 0.06}
+		train, test := digits.Generate(dcfg)
+		if train.Len()+test.Len() != 250 {
+			b.Fatal("bad split")
+		}
+		pcfg := protein.Config{Train: 200, Test: 50, Seed: uint64(i + 1), Sharpness: 1.35, MinLen: 60, MaxLen: 120}
+		ptrain, _ := protein.Generate(pcfg)
+		if ptrain.FeatDim != 357 {
+			b.Fatal("bad protein dims")
+		}
+	}
+}
+
+// ----------------------------------------------------------- Section 3.1 --
+
+func BenchmarkSection31DeploymentGap(b *testing.B) {
+	r := runner(b)
+	if _, err := eval.Section31(r); err != nil { // train once before timing
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Section31(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------ L1 sparsity --
+
+func BenchmarkL1SparsityMLP(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	train, _ := r.Data(bench)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := nn.NewMLP(rng.NewPCG32(uint64(i+1), 1), 784, 64, 10)
+		cfg := nn.MLPTrainConfig{Epochs: 1, Batch: 32, LR: 0.05, Momentum: 0.9,
+			Lambda: 0.0001, Seed: uint64(i), Workers: 8}
+		if err := nn.TrainMLP(m, train, cfg); err != nil {
+			b.Fatal(err)
+		}
+		m.ZeroFractions(0.01)
+	}
+}
+
+// --------------------------------------------------------------- Figure 4 --
+
+func BenchmarkFig4DeviationMap(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "biased")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dm, err := deploy.CoreDeviation(m.Net, 0, 0, rng.NewPCG32(uint64(i+1), 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dm.Stats()
+	}
+}
+
+// --------------------------------------------------------------- Figure 5 --
+
+func BenchmarkFig5Histograms(b *testing.B) {
+	r := runner(b)
+	if _, err := eval.Fig5(r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig5(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----------------------------------------------------------- Figures 7/8 --
+
+func BenchmarkFig7AccuracySurfaces(b *testing.B) {
+	r := runner(b)
+	if _, err := eval.Fig7(r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := eval.Fig7(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Boost() // Figure 8
+	}
+}
+
+// --------------------------------------------------------------- Table 2 --
+
+func BenchmarkTable2aCoreOccupation(b *testing.B) {
+	r := runner(b)
+	f, err := eval.Fig7(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t2a := eval.Table2a(r, f)
+		if len(t2a.N) != 16 {
+			b.Fatal("bad ladder")
+		}
+	}
+}
+
+func BenchmarkTable2bPerformance(b *testing.B) {
+	r := runner(b)
+	if _, err := eval.Table2b(r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table2b(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------- Figure 9 --
+
+func BenchmarkFig9aSavingsVsSPF(b *testing.B) {
+	r := runner(b)
+	f, err := eval.Fig7(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Fig9a(r, f)
+	}
+}
+
+func BenchmarkFig9bSavingsPerBench(b *testing.B) {
+	r := runner(b)
+	if _, err := eval.Fig9b(r); err != nil { // trains all 10 models once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig9b(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------- Table 3 --
+
+func BenchmarkTable3Benches(b *testing.B) {
+	r := runner(b)
+	if _, err := eval.Table3(r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table3(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// -------------------------------------------------------------- Ablations --
+
+func BenchmarkAblationMapping(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.AblationMapping(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.CountsAgree {
+			b.Fatal("mappings diverged")
+		}
+	}
+}
+
+// ------------------------------------------------- substrate micro-benches --
+
+// BenchmarkDeployFrame measures one spike-domain classification frame of the
+// bench-1 network (4 cores, 256x256), the inner loop of every surface.
+func BenchmarkDeployFrame(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := r.Data(bench)
+	sn := deploy.Sample(m.Net, rng.NewPCG32(1, 1), deploy.DefaultSampleConfig())
+	fs := sn.NewFrameScratch()
+	src := rng.NewPCG32(2, 2)
+	counts := make([]int64, 10)
+	x := make([]float64, 28*28)
+	copy(x, test.X[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn.Frame(fs, x, 1, src, counts)
+	}
+}
+
+// BenchmarkTrainingStep measures one bench-1 minibatch SGD step (32 samples
+// through Eq. 9/14/11 forward and the full-variance backward).
+func BenchmarkTrainingStep(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	train, _ := r.Data(bench)
+	net, err := bench.Arch.Build(rng.NewPCG32(1, 1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := train.Subset(32)
+	cfg := nn.TrainConfig{Epochs: 1, Batch: 32, LR: 0.1, Momentum: 0.9, Seed: 1, Workers: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.Train(net, sub, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command tnchip deploys a trained model (from tntrain) onto the simulated
+// TrueNorth chip and reports occupancy, activity and energy statistics, or
+// dumps a Figure 4 deviation map.
+//
+// Usage:
+//
+//	tnchip -model bench1_biased.json -bench 1 -quick               # stats
+//	tnchip -model bench1_biased.json -deviation core0.pgm          # Fig 4 map
+//	tnchip -model bench1_biased.json -bench 1 -quick -copies 4     # 4 copies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/eval"
+	"repro/internal/rng"
+	"repro/internal/truenorth"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model JSON written by tntrain")
+		benchID   = flag.Int("bench", 1, "bench id used for evaluation data")
+		quick     = flag.Bool("quick", false, "smoke-scale dataset")
+		seed      = flag.Uint64("seed", 1, "sampling seed")
+		spf       = flag.Int("spf", 1, "spikes per frame")
+		copies    = flag.Int("copies", 1, "network copies to place")
+		frames    = flag.Int("frames", 50, "test frames to run through the chip")
+		deviation = flag.String("deviation", "", "write a deviation PGM of layer0/core0 and exit")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fatal(fmt.Errorf("-model is required"))
+	}
+	m, err := core.LoadModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *deviation != "" {
+		dm, err := deploy.CoreDeviation(m.Net, 0, 0, rng.NewPCG32(*seed, 1))
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*deviation)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dm.WritePGM(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		s := dm.Stats()
+		fmt.Printf("deviation map %dx%d: zero %.2f%%, >50%% %.2f%%, mean %.4f -> %s\n",
+			dm.Axons, dm.Neurons, s.ZeroFrac*100, s.OverHalfFrac*100, s.Mean, *deviation)
+		return
+	}
+
+	b, err := eval.BenchByID(*benchID)
+	if err != nil {
+		fatal(err)
+	}
+	opt := eval.Options{Quick: *quick, Seed: *seed}
+	r := eval.NewRunner(opt, os.Stderr)
+	_, test := r.Data(b)
+
+	// Place `copies` sampled copies on one chip and stream frames through the
+	// first copy (the remaining copies document occupancy).
+	root := rng.NewPCG32(*seed, 7)
+	var nets []*deploy.ChipNet
+	totalCores := 0
+	for c := 0; c < *copies; c++ {
+		sn := deploy.Sample(m.Net, root.Split(uint64(c)), deploy.DefaultSampleConfig())
+		cn, err := deploy.BuildChip(sn, deploy.MapSigned, *seed+uint64(c))
+		if err != nil {
+			fatal(err)
+		}
+		nets = append(nets, cn)
+		totalCores += cn.Chip.NumCores()
+	}
+	fmt.Printf("model %s/%s: %d copies -> %d cores (%.1f%% of one %d-core chip)\n",
+		m.Meta.Bench, m.Meta.Penalty, *copies, totalCores,
+		100*float64(totalCores)/float64(truenorth.ChipCapacity), truenorth.ChipCapacity)
+
+	n := *frames
+	if n > test.Len() {
+		n = test.Len()
+	}
+	correct := 0
+	var stats truenorth.Stats
+	src := rng.NewPCG32(*seed, 9)
+	for i := 0; i < n; i++ {
+		counts := make([]int64, m.Net.Readout.Classes)
+		for _, cn := range nets {
+			c := cn.Frame(test.X[i], *spf, src)
+			for k := range counts {
+				counts[k] += c[k]
+			}
+			s := cn.Chip.Stats()
+			stats.Ticks += s.Ticks
+			stats.Spikes += s.Spikes
+			stats.SynEvents += s.SynEvents
+		}
+		if nets[0].DecideClass(counts) == test.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("frames: %d  spf: %d  accuracy: %.4f\n", n, *spf, float64(correct)/float64(n))
+	fmt.Printf("activity: %d ticks, %d spikes, %d synaptic events\n", stats.Ticks, stats.Spikes, stats.SynEvents)
+	fmt.Printf("synaptic energy estimate: %.3g J (26 pJ/event)\n", stats.SynapticEnergyJoules())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnchip:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Command tnrepro regenerates the paper's tables and figures on the simulated
+// TrueNorth substrate.
+//
+// Usage:
+//
+//	tnrepro -exp all                 # every experiment, full protocol
+//	tnrepro -exp table2a -quick      # one experiment at smoke scale
+//	tnrepro -exp fig7 -out results/  # also dump CSV/PGM artifacts
+//
+// Experiments: table1, section31, l1sparsity, fig4, fig5, fig7 (includes
+// fig8), table2a, table2b, fig9a, fig9b, table3, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "experiment id (comma separated) or 'all'")
+		quick   = flag.Bool("quick", false, "smoke scale: small datasets, few epochs/repeats")
+		seed    = flag.Uint64("seed", 20160605, "master seed")
+		workers = flag.Int("workers", 0, "goroutine cap (0 = GOMAXPROCS)")
+		outDir  = flag.String("out", "", "directory for CSV/PGM artifacts (optional)")
+		trainN  = flag.Int("train", 0, "override train set size")
+		testN   = flag.Int("test", 0, "override test set size")
+		epochs  = flag.Int("epochs", 0, "override training epochs")
+		repeats = flag.Int("repeats", 0, "override deployment repeats")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	opt := eval.Options{
+		Quick: *quick, Seed: *seed, Workers: *workers, OutDir: *outDir,
+		TrainN: *trainN, TestN: *testN, EpochsN: *epochs, RepeatsN: *repeats,
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	var log *os.File
+	if !*quiet {
+		log = os.Stderr
+	}
+	r := eval.NewRunner(opt, log)
+
+	ids := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		ids = []string{"table1", "section31", "l1sparsity", "fig5", "fig4",
+			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "ablations"}
+	}
+	start := time.Now()
+	// fig7 results feed table2a and fig9a; compute lazily and share.
+	var fig7 *eval.Fig7Result
+	getFig7 := func() (*eval.Fig7Result, error) {
+		if fig7 != nil {
+			return fig7, nil
+		}
+		f, err := eval.Fig7(r)
+		if err == nil {
+			fig7 = f
+		}
+		return f, err
+	}
+	for _, id := range ids {
+		if err := runExperiment(r, strings.TrimSpace(id), getFig7, opt); err != nil {
+			fatal(fmt.Errorf("experiment %s: %w", id, err))
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total elapsed: %v\n", time.Since(start).Round(time.Second))
+	}
+}
+
+func runExperiment(r *eval.Runner, id string, getFig7 func() (*eval.Fig7Result, error), opt eval.Options) error {
+	switch id {
+	case "table1":
+		rows, err := eval.Table1(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable1(rows))
+	case "section31":
+		s, err := eval.Section31(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderSection31(s))
+	case "l1sparsity":
+		s, err := eval.L1Sparsity(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderL1Sparsity(s))
+	case "fig5":
+		f, err := eval.Fig5(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFig5(f))
+	case "fig4":
+		f, err := eval.Fig4(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFig4(f))
+	case "fig7", "fig8":
+		f, err := getFig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFig7(f))
+		if opt.OutDir != "" {
+			if _, err := eval.WriteSurfaceCSV(opt.OutDir, "fig7_tea.csv", f.Tea); err != nil {
+				return err
+			}
+			if _, err := eval.WriteSurfaceCSV(opt.OutDir, "fig7_biased.csv", f.Biased); err != nil {
+				return err
+			}
+		}
+	case "table2a":
+		f, err := getFig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable2a(eval.Table2a(r, f)))
+	case "table2b":
+		t2b, err := eval.Table2b(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable2b(t2b))
+	case "fig9a":
+		f, err := getFig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFig9a(eval.Fig9a(r, f)))
+	case "fig9b":
+		f, err := eval.Fig9b(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFig9b(f))
+	case "table3":
+		rows, err := eval.Table3(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable3(rows))
+	case "ablations":
+		sig, err := eval.AblationSigma(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblation("Ablation: variance-path gradient", sig))
+		leak, err := eval.AblationLeak(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblation("Ablation: leak realization", leak))
+		shape, err := eval.AblationPenaltyShape(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblation("Ablation: Eq. 17 penalty shape (a, b)", shape))
+		coding, err := eval.AblationCoding(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblation("Ablation: neural input codes (1 copy, 2 spf)", coding))
+		cont, err := eval.AblationContinuity(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblation("Ablation: integer-threshold continuity correction", cont))
+		m, err := eval.AblationMapping(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderMapping(m))
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// deviation_map reproduces Figure 4 visually: it trains the bench-1 network
+// with and without the biasing penalty, samples one deployment of each, and
+// writes the per-synapse deviation maps of a core as PGM images plus an
+// ASCII rendering, with the paper's summary statistics.
+//
+//	go run ./examples/deviation_map
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/synth/digits"
+)
+
+func main() {
+	cfg := digits.DefaultConfig()
+	cfg.Train, cfg.Test = 5000, 1000
+	train, test := digits.Generate(cfg)
+
+	arch := &nn.Arch{
+		Name: "bench1", InputH: 28, InputW: 28,
+		Block: 16, Stride: 12, CoreSize: 256, Classes: 10, Tau: 12,
+	}
+	for _, pen := range []struct {
+		name   string
+		lambda float64
+	}{{"none", 0}, {"biased", 0.0005}} {
+		m, err := core.TrainModel(core.TrainSpec{
+			Arch: arch, Penalty: pen.name, Lambda: pen.lambda,
+			Train: nn.TrainConfig{Epochs: 6, Batch: 32, LR: 0.1, Momentum: 0.9,
+				LRDecay: 0.85, Warmup: 2, Seed: 9},
+			Seed: 9,
+		}, train, test)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dm, err := deploy.CoreDeviation(m.Net, 0, 0, rng.NewPCG32(17, 1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s := dm.Stats()
+		fmt.Printf("\n%s: core 0 deviation — zero %.2f%%, >50%% %.2f%%, mean %.4f\n",
+			pen.name, s.ZeroFrac*100, s.OverHalfFrac*100, s.Mean)
+		path := fmt.Sprintf("deviation_%s.pgm", pen.name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := dm.WritePGM(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%dx%d)\n", path, dm.Axons, dm.Neurons)
+		fmt.Println(asciiDownsample(dm, 64))
+	}
+	fmt.Println("paper (Figure 4): Tea has 24.01% of synapses deviating >50%;")
+	fmt.Println("biased learning leaves 98.45% with zero deviation.")
+}
+
+// asciiDownsample renders the deviation map as a coarse character grid.
+func asciiDownsample(dm *deploy.DeviationMap, cells int) string {
+	const ramp = " .:-=+*#%@"
+	step := dm.Axons / cells
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	for j := 0; j < dm.Neurons; j += step * 2 { // 2:1 aspect for terminals
+		for i := 0; i < dm.Axons; i += step {
+			// Average the block.
+			sum, n := 0.0, 0
+			for jj := j; jj < j+step*2 && jj < dm.Neurons; jj++ {
+				for ii := i; ii < i+step && ii < dm.Axons; ii++ {
+					sum += dm.Dev[jj*dm.Axons+ii]
+					n++
+				}
+			}
+			v := sum / float64(n)
+			b.WriteByte(ramp[int(v*float64(len(ramp)-1)+0.5)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

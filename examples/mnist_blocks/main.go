@@ -1,0 +1,76 @@
+// mnist_blocks walks through the paper's test bench 1 comparison: the same
+// Figure 3 network trained three ways (no penalty / L1 / biased penalty),
+// then deployed — reproducing the section 3.3 narrative that L1 sparsifies
+// without helping deployment while the biased penalty recovers accuracy.
+//
+//	go run ./examples/mnist_blocks
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/nn"
+	"repro/internal/synth/digits"
+)
+
+func main() {
+	cfg := digits.DefaultConfig()
+	cfg.Train, cfg.Test = 6000, 1500
+	train, test := digits.Generate(cfg)
+
+	arch := &nn.Arch{
+		Name: "bench1", InputH: 28, InputW: 28,
+		Block: 16, Stride: 12, CoreSize: 256, Classes: 10, Tau: 12,
+	}
+	fmt.Printf("test bench 1: %d cores (%v per layer), block stride %d\n",
+		arch.TotalCores(), arch.CoresPerLayer(), arch.Stride)
+
+	type row struct {
+		penalty  string
+		lambda   float64
+		float    float64
+		deployed float64
+		variance float64
+		polar    float64
+	}
+	var rows []row
+	for _, pen := range []struct {
+		name   string
+		lambda float64
+	}{{"none", 0}, {"l1", 0.00005}, {"biased", 0.0005}} {
+		spec := core.TrainSpec{
+			Arch: arch, Penalty: pen.name, Lambda: pen.lambda,
+			Train: nn.TrainConfig{Epochs: 6, Batch: 32, LR: 0.1, Momentum: 0.9,
+				LRDecay: 0.85, Warmup: 2, Seed: 3},
+			Seed: 3,
+		}
+		m, err := core.TrainModel(spec, train, test)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := m.DeployAccuracy(test, deploy.EvalConfig{
+			Copies: 1, SPF: 1, Repeats: 5, Seed: 11,
+			Sample: deploy.DefaultSampleConfig(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rows = append(rows, row{pen.name, pen.lambda, m.Meta.FloatAccuracy,
+			res.Accuracy, core.MeanSynapticVariance(m.Net), core.PolarFraction(m.Net, 0.05)})
+	}
+
+	fmt.Printf("\n%-8s %8s %8s %10s %10s %8s\n",
+		"penalty", "float", "deploy", "gap", "meanVar", "polar")
+	for _, r := range rows {
+		fmt.Printf("%-8s %7.2f%% %7.2f%% %+9.2f%% %10.5f %7.1f%%\n",
+			r.penalty, r.float*100, r.deployed*100, (r.deployed-r.float)*100,
+			r.variance, r.polar*100)
+	}
+	fmt.Println("\npaper (section 3.3): float 95.27/95.36/95.03%, deployed 90.04/89.83/92.78% —")
+	fmt.Println("the biased penalty trades a sliver of float accuracy for a much smaller deployment gap.")
+}

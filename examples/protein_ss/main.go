@@ -1,0 +1,66 @@
+// protein_ss runs the paper's life-science benches (Table 3, benches 4 and
+// 5): protein secondary-structure classification with 357 window features
+// reshaped to a 19x19 grid and tiled onto neuro-synaptic cores, including
+// the two-layer 16~9-core variant.
+//
+//	go run ./examples/protein_ss
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/nn"
+	"repro/internal/synth/protein"
+)
+
+func main() {
+	cfg := protein.DefaultConfig()
+	cfg.Train, cfg.Test = 6000, 1500
+	train, test := protein.Generate(cfg)
+	fmt.Printf("generated %d train / %d test windows (%d features, %d classes)\n",
+		train.Len(), test.Len(), train.FeatDim, train.NumClasses)
+
+	benches := []*nn.Arch{
+		{
+			Name: "bench4 (stride 3, 4 cores)", InputH: 19, InputW: 19,
+			Block: 16, Stride: 3, CoreSize: 256, Classes: 3, Tau: 12,
+		},
+		{
+			Name: "bench5 (stride 1, 16~9 cores)", InputH: 19, InputW: 19,
+			Block: 16, Stride: 1, CoreSize: 256, Classes: 3, Tau: 12,
+			Windows: []nn.Window{{Size: 2, Stride: 1}},
+		},
+	}
+	for _, arch := range benches {
+		fmt.Printf("\n%s: %v cores per layer\n", arch.Name, arch.CoresPerLayer())
+		for _, pen := range []struct {
+			name   string
+			lambda float64
+		}{{"none", 0}, {"biased", 0.0005}} {
+			m, err := core.TrainModel(core.TrainSpec{
+				Arch: arch, Penalty: pen.name, Lambda: pen.lambda,
+				Train: nn.TrainConfig{Epochs: 6, Batch: 32, LR: 0.1, Momentum: 0.9,
+					LRDecay: 0.85, Warmup: 2, Seed: 5},
+				Seed: 5,
+			}, train, test)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res, err := m.DeployAccuracy(test, deploy.EvalConfig{
+				Copies: 1, SPF: 1, Repeats: 5, Seed: 13,
+				Sample: deploy.DefaultSampleConfig(),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-8s float %.2f%%  deployed(1 copy, 1 spf) %.2f%%\n",
+				pen.name, m.Meta.FloatAccuracy*100, res.Accuracy*100)
+		}
+	}
+	fmt.Println("\npaper Table 3 reference: bench 4 Caffe accuracy 69.09%, bench 5 69.65%")
+}

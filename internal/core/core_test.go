@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/deploy"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestSynapticVarianceShape(t *testing.T) {
+	// Eq. 15: zero at the poles, maximal at p = 0.5.
+	if SynapticVariance(0, 1) != 0 || SynapticVariance(1, 1) != 0 || SynapticVariance(-1, 1) != 0 {
+		t.Fatal("variance must vanish at poles")
+	}
+	if v := SynapticVariance(0.5, 1); math.Abs(v-0.25) > 1e-12 {
+		t.Fatalf("variance at p=0.5 is %v, want 0.25", v)
+	}
+	// Symmetric and monotone toward the centre.
+	if SynapticVariance(0.3, 1) != SynapticVariance(-0.3, 1) {
+		t.Fatal("variance not symmetric in sign")
+	}
+	if SynapticVariance(0.3, 1) >= SynapticVariance(0.4, 1) {
+		t.Fatal("variance not increasing toward the centroid")
+	}
+	// Clamped beyond cmax.
+	if SynapticVariance(5, 1) != 0 {
+		t.Fatal("clamped p=1 must have zero variance")
+	}
+}
+
+func TestSynapticVarianceMatchesMonteCarlo(t *testing.T) {
+	// Property: empirical variance of the sampled synapse matches Eq. 15.
+	f := func(raw uint16) bool {
+		w := float64(raw)/65535*2 - 1
+		want := SynapticVariance(w, 1)
+		src := rng.NewPCG32(uint64(raw), 5)
+		p, positive := deploy.Quantize(w, 1)
+		const n = 30000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := 0.0
+			if rng.Bernoulli(src, p) {
+				if positive {
+					v = 1
+				} else {
+					v = -1
+				}
+			}
+			sum += v
+			sq += v * v
+		}
+		mean := sum / n
+		got := sq/n - mean*mean
+		return math.Abs(got-want) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContributionVariance(t *testing.T) {
+	// var{w'x'} = px(1-px); at p=1 only spike noise remains.
+	if v := ContributionVariance(1, 0.5, 1); math.Abs(v-0.25) > 1e-12 {
+		t.Fatalf("p=1, x=0.5: %v, want 0.25", v)
+	}
+	// Binary input and p=1: fully deterministic.
+	if v := ContributionVariance(1, 1, 1); v != 0 {
+		t.Fatalf("p=1, x=1: %v, want 0", v)
+	}
+	if v := ContributionVariance(0, 0.7, 1); v != 0 {
+		t.Fatal("p=0 must contribute nothing")
+	}
+}
+
+func smallArch() *nn.Arch {
+	return &nn.Arch{
+		Name: "core-test", InputH: 8, InputW: 8, Block: 4, Stride: 4,
+		CoreSize: 16, Classes: 2, Tau: 8, InitScale: 0.3,
+	}
+}
+
+func binData(n int, seed uint64) *dataset.Dataset {
+	src := rng.NewPCG32(seed, 3)
+	d := &dataset.Dataset{
+		Name: "core-bin", FeatDim: 64, NumClasses: 2, Height: 8, Width: 8,
+		X: make([][]float64, n), Y: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		x := make([]float64, 64)
+		for j := range x {
+			hot := (y == 0) == (j%8 < 4)
+			v := 0.1
+			if hot {
+				v = 0.9
+			}
+			x[j] = tensor.Clamp(v+(rng.Float64(src)-0.5)*0.1, 0, 1)
+		}
+		d.X[i] = x
+		d.Y[i] = y
+	}
+	return d
+}
+
+func TestTrainModelEndToEnd(t *testing.T) {
+	train := binData(200, 1)
+	test := binData(100, 2)
+	spec := TrainSpec{
+		Arch: smallArch(), Penalty: "biased", Lambda: 0.002,
+		Train: nn.TrainConfig{Epochs: 8, Batch: 16, LR: 0.15, Momentum: 0.9,
+			LRDecay: 0.9, Warmup: 3, Seed: 7, Workers: 4},
+		Seed: 7,
+	}
+	m, err := TrainModel(spec, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Meta.FloatAccuracy < 0.9 {
+		t.Fatalf("float accuracy %v", m.Meta.FloatAccuracy)
+	}
+	if m.Meta.Penalty != "biased" || m.Meta.Cores != 4 {
+		t.Fatalf("meta %+v", m.Meta)
+	}
+	cfg := deploy.DefaultEvalConfig()
+	cfg.Repeats = 3
+	res, err := m.DeployAccuracy(test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.8 {
+		t.Fatalf("deployed accuracy %v", res.Accuracy)
+	}
+}
+
+func TestTrainModelRejectsUnknownPenalty(t *testing.T) {
+	if _, err := TrainModel(TrainSpec{Arch: smallArch(), Penalty: "nope"}, binData(10, 1), binData(10, 2)); err == nil {
+		t.Fatal("unknown penalty accepted")
+	}
+}
+
+func TestBiasedTrainingReducesMeanVariance(t *testing.T) {
+	train := binData(300, 3)
+	test := binData(100, 4)
+	base := nn.TrainConfig{Epochs: 10, Batch: 16, LR: 0.15, Momentum: 0.9,
+		LRDecay: 0.9, Warmup: 3, Seed: 9, Workers: 4}
+	tea, err := TrainModel(TrainSpec{Arch: smallArch(), Penalty: "none", Train: base, Seed: 9}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := TrainModel(TrainSpec{Arch: smallArch(), Penalty: "biased", Lambda: 0.003, Train: base, Seed: 9}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vTea := MeanSynapticVariance(tea.Net)
+	vBiased := MeanSynapticVariance(biased.Net)
+	if vBiased >= vTea {
+		t.Fatalf("biased variance %v not below tea %v", vBiased, vTea)
+	}
+	// And the histogram mass concentrates at the poles.
+	if PolarFraction(biased.Net, 0.05) <= PolarFraction(tea.Net, 0.05) {
+		t.Fatal("biased model not more polar")
+	}
+}
+
+func TestProbabilityHistogramNormalized(t *testing.T) {
+	net, err := smallArch().Build(rng.NewPCG32(1, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ProbabilityHistogram(net, 20)
+	if len(h) != 20 {
+		t.Fatalf("bins %d", len(h))
+	}
+	sum := 0.0
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative mass")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram mass %v", sum)
+	}
+}
+
+func TestPolarFractionBounds(t *testing.T) {
+	net, err := smallArch().Build(rng.NewPCG32(1, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := PolarFraction(net, 1); f != 1 {
+		t.Fatalf("eps=1 fraction %v", f)
+	}
+	// Force all weights to 0.5: nothing polar at eps 0.05.
+	for _, l := range net.Layers {
+		for _, c := range l.Cores {
+			for i := range c.W.Data {
+				c.W.Data[i] = 0.5
+			}
+		}
+	}
+	if f := PolarFraction(net, 0.05); f != 0 {
+		t.Fatalf("centroid weights reported polar: %v", f)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	train := binData(50, 5)
+	test := binData(20, 6)
+	spec := TrainSpec{
+		Arch: smallArch(), Penalty: "none",
+		Train: nn.TrainConfig{Epochs: 2, Batch: 8, LR: 0.1, Momentum: 0.9, Seed: 3, Workers: 2},
+		Seed:  3,
+	}
+	m, err := TrainModel(spec, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != m.Meta {
+		t.Fatalf("meta changed: %+v vs %+v", got.Meta, m.Meta)
+	}
+	a, b := m.Net.Weights(), got.Net.Weights()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("weights changed by round trip")
+		}
+	}
+}
+
+func TestLoadModelMissing(t *testing.T) {
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,254 @@
+package deploy
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/truenorth"
+)
+
+// Mapping selects how sampled connectivity is lowered onto physical crossbars.
+type Mapping int
+
+const (
+	// MapSigned is the paper's idealized model (Eq. 6): every synapse carries
+	// its own signed integer weight. Realized with two weight-table entries
+	// (+CMax on entry 0, -CMax on entry 1) chosen per synapse over untyped
+	// axons; such cores fail Core.ValidateHardware by design, documenting
+	// exactly where the paper's math departs from the physical chip. This is
+	// the only mapping that fits Figure 3's 256 pixels on 256 axons.
+	MapSigned Mapping = iota
+	// MapDualAxon is the hardware-exact lowering: every logical input feeds
+	// two typed axons (even axon: type 0 = +CMax, odd axon: type 1 = -CMax)
+	// and each synapse connects through the axon matching its sign. Halves
+	// core input capacity to 128 and — because one neuron routes to exactly
+	// one destination axon — feeding both signs of a *hidden* destination
+	// would require splitter cores. BuildChip therefore supports MapDualAxon
+	// for single-layer networks only (off-chip input injection can hit both
+	// axons of the pair); this restriction is the real hardware cost the
+	// paper's abstraction hides, and the ablation bench quantifies it.
+	MapDualAxon
+)
+
+// String implements fmt.Stringer.
+func (m Mapping) String() string {
+	switch m {
+	case MapSigned:
+		return "signed"
+	case MapDualAxon:
+		return "dual-axon"
+	}
+	return fmt.Sprintf("Mapping(%d)", int(m))
+}
+
+// ChipNet is a SampledNet lowered onto a truenorth.Chip with explicit routing.
+type ChipNet struct {
+	Chip *truenorth.Chip
+	// inputTargets[i] lists every (core, axon) fed by logical input i.
+	inputTargets [][]truenorth.Target
+	classes      int
+	classN       []int
+	depth        int
+	mapping      Mapping
+}
+
+// BuildChip lowers sn onto a fresh chip. Fan-out (one logical neuron feeding
+// several next-layer cores, as in the overlapping windows of test bench 3) is
+// realized by neuron duplication: extra physical neurons with identical
+// synapse rows and leak, one per destination, as corelet flows do on the real
+// hardware. Returns an error if any core exceeds its crossbar, the chip
+// capacity is exhausted, or the mapping cannot realize the topology.
+func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
+	if mapping == MapDualAxon && len(sn.layers) > 1 {
+		return nil, fmt.Errorf("deploy: %v mapping supports single-layer networks only (hidden fan-in of both signs needs splitter cores)", mapping)
+	}
+	ch := truenorth.NewChip(seed)
+	cn := &ChipNet{Chip: ch, classes: sn.classes, classN: sn.classN, depth: len(sn.layers), mapping: mapping}
+	ch.SetExternalSinks(sn.classes)
+
+	// fanout[li][g] lists the (next-layer core, gather axon) destinations of
+	// exported neuron g of layer li.
+	type dest struct{ core, axon int }
+	fanout := make([][][]dest, len(sn.layers))
+	for li, l := range sn.layers {
+		fanout[li] = make([][]dest, l.outDim)
+	}
+	for li := 1; li < len(sn.layers); li++ {
+		for ci, c := range sn.layers[li].cores {
+			for a, idx := range c.in {
+				fanout[li-1][idx] = append(fanout[li-1][idx], dest{core: ci, axon: a})
+			}
+		}
+	}
+
+	// Instantiate cores backwards so routing targets already exist.
+	coreIdx := make([][]int, len(sn.layers))
+	for li := range coreIdx {
+		coreIdx[li] = make([]int, len(sn.layers[li].cores))
+	}
+	for li := len(sn.layers) - 1; li >= 0; li-- {
+		l := sn.layers[li]
+		last := li == len(sn.layers)-1
+		outBase := 0
+		for ci, c := range l.cores {
+			axons := len(c.in)
+			if mapping == MapDualAxon {
+				axons *= 2
+			}
+			// Physical neuron plan: one slot per (logical neuron, destination).
+			type slot struct {
+				logical int
+				target  truenorth.Target
+			}
+			var slots []slot
+			for j := 0; j < c.neurons; j++ {
+				g := outBase + j
+				switch {
+				case last:
+					slots = append(slots, slot{j, truenorth.Target{Core: truenorth.External, Axon: sn.classOf[g]}})
+				case j < c.exports && len(fanout[li][g]) > 0:
+					for _, d := range fanout[li][g] {
+						slots = append(slots, slot{j, truenorth.Target{Core: coreIdx[li+1][d.core], Axon: d.axon}})
+					}
+				default:
+					slots = append(slots, slot{j, truenorth.Target{Core: truenorth.Unrouted}})
+				}
+			}
+			if len(slots) > truenorth.DefaultCoreSize {
+				return nil, fmt.Errorf("deploy: layer %d core %d needs %d physical neurons after fan-out duplication (max %d)",
+					li, ci, len(slots), truenorth.DefaultCoreSize)
+			}
+			if axons > truenorth.DefaultCoreSize {
+				return nil, fmt.Errorf("deploy: layer %d core %d needs %d axons under %v mapping (max %d)",
+					li, ci, axons, mapping, truenorth.DefaultCoreSize)
+			}
+			idx, core, err := ch.AddCore(axons, len(slots))
+			if err != nil {
+				return nil, fmt.Errorf("deploy: layer %d core %d: %w", li, ci, err)
+			}
+			coreIdx[li][ci] = idx
+			for pj, s := range slots {
+				configureNeuron(core, sn, c, mapping, pj, s.logical)
+				if err := ch.Route(idx, pj, s.target); err != nil {
+					return nil, fmt.Errorf("deploy: route layer %d core %d neuron %d: %w", li, ci, pj, err)
+				}
+			}
+			if mapping == MapDualAxon {
+				for a := range c.in {
+					core.SetAxonType(2*a, 0)
+					core.SetAxonType(2*a+1, 1)
+				}
+			}
+			outBase += c.exports
+		}
+	}
+
+	// Input injection map.
+	in0 := sn.layers[0]
+	cn.inputTargets = make([][]truenorth.Target, in0.inDim)
+	for ci, c := range in0.cores {
+		for a, idx := range c.in {
+			axon := a
+			if mapping == MapDualAxon {
+				axon = 2 * a
+			}
+			cn.inputTargets[idx] = append(cn.inputTargets[idx], truenorth.Target{Core: coreIdx[0][ci], Axon: axon})
+		}
+	}
+	return cn, nil
+}
+
+// configureNeuron fills physical neuron pj of core with the sampled row of
+// logical neuron j.
+func configureNeuron(core *truenorth.Core, sn *SampledNet, c *sampledCore, mapping Mapping, pj, j int) {
+	core.SetWeights(pj, truenorth.WeightTable{sn.cmax, -sn.cmax, 0, 0})
+	leak := c.leak[j]
+	if !c.stoch {
+		leak = float64(c.intLeak[j])
+	}
+	core.SetNeuron(pj, truenorth.NeuronConfig{Leak: leak})
+	for a := range c.in {
+		if c.plus[j].Get(a) {
+			if mapping == MapDualAxon {
+				core.Connect(2*a, pj, 0)
+			} else {
+				core.Connect(a, pj, 0)
+			}
+		}
+		if c.minus[j].Get(a) {
+			if mapping == MapDualAxon {
+				core.Connect(2*a+1, pj, 1)
+			} else {
+				core.Connect(a, pj, 1)
+			}
+		}
+	}
+}
+
+// Depth returns the pipeline depth in ticks (one per layer).
+func (cn *ChipNet) Depth() int { return cn.depth }
+
+// InjectInput delivers one spike realization: every firing logical input is
+// injected into all its target (core, axon) pairs — and, under dual-axon
+// mapping, into both typed axons of each pair.
+func (cn *ChipNet) InjectInput(spikes truenorth.BitVec) {
+	dual := cn.mapping == MapDualAxon
+	for i, targets := range cn.inputTargets {
+		if !spikes.Get(i) {
+			continue
+		}
+		for _, t := range targets {
+			cn.Chip.Inject(t.Core, t.Axon)
+			if dual {
+				cn.Chip.Inject(t.Core, t.Axon+1)
+			}
+		}
+	}
+}
+
+// Frame classifies one input on the chip with spf temporal samples, returning
+// per-class spike counts. Input sample j (j = 1..spf) is injected before tick
+// j and reaches the sinks at the end of tick j+depth-1, so the chip runs
+// spf+depth-1 ticks and only spikes arriving in the window [depth, spf+depth-1]
+// are counted. The windowing matters: during pipeline fill and drain, deeper
+// layers evaluate empty axon sets and neurons with non-negative leak emit
+// spikes that carry no information — the real chip's readout aligns its
+// counting window the same way.
+func (cn *ChipNet) Frame(x []float64, spf int, src rng.Source) []int64 {
+	cn.Chip.ResetActivity()
+	spikes := truenorth.NewBitVec(len(cn.inputTargets))
+	total := spf + cn.depth - 1
+	baseline := make([]int64, cn.classes)
+	for t := 1; t <= total; t++ {
+		if t <= spf {
+			spikes.Zero()
+			for i, v := range x {
+				if rng.Bernoulli(src, v) {
+					spikes.Set(i)
+				}
+			}
+			cn.InjectInput(spikes)
+		}
+		cn.Chip.Tick()
+		if t == cn.depth-1 {
+			copy(baseline, cn.Chip.ExternalCounts())
+		}
+	}
+	counts := append([]int64(nil), cn.Chip.ExternalCounts()...)
+	for k := range counts {
+		counts[k] -= baseline[k]
+	}
+	return counts
+}
+
+// DecideClass mirrors SampledNet.DecideClass for chip-side counts.
+func (cn *ChipNet) DecideClass(counts []int64) int {
+	best, bi := -1.0, 0
+	for k, n := range cn.classN {
+		score := float64(counts[k]) / float64(n)
+		if score > best {
+			best, bi = score, k
+		}
+	}
+	return bi
+}

@@ -1,0 +1,216 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// binaryInput returns a deterministic binary input vector of length n.
+func binaryInput(n int, seed uint64) []float64 {
+	src := rng.NewPCG32(seed, 1)
+	x := make([]float64, n)
+	for i := range x {
+		if rng.Bernoulli(src, 0.4) {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// integerBiasNet builds a 1-layer random-weight network with integer biases so
+// the chip and the fast path are draw-for-draw deterministic on binary input.
+func integerBiasNet(neurons, inputs, classes int, seed uint64) *nn.Network {
+	src := rng.NewPCG32(seed, 2)
+	w := make([][]float64, neurons)
+	bias := make([]float64, neurons)
+	for j := range w {
+		w[j] = make([]float64, inputs)
+		for i := range w[j] {
+			w[j][i] = rng.Float64(src)*2 - 1
+		}
+		bias[j] = float64(rng.Intn(src, 5) - 2) // integer leak in [-2, 2]
+	}
+	return singleCoreNet(w, bias, classes)
+}
+
+func TestChipMatchesFastPathSingleLayer(t *testing.T) {
+	net := integerBiasNet(8, 12, 2, 3)
+	sn := Sample(net, rng.NewPCG32(4, 4), DefaultSampleConfig())
+	cn, err := BuildChip(sn, MapSigned, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := binaryInput(12, 6)
+	// Fast path.
+	fs := sn.NewFrameScratch()
+	fast := make([]int64, 2)
+	sn.Frame(fs, x, 3, rng.NewPCG32(7, 7), fast)
+	// Chip path (binary input => encoding deterministic; integer leak =>
+	// no stochastic draws at all).
+	chip := cn.Frame(x, 3, rng.NewPCG32(8, 8))
+	for k := range fast {
+		if fast[k] != chip[k] {
+			t.Fatalf("class %d: fast %d vs chip %d", k, fast[k], chip[k])
+		}
+	}
+	if cn.DecideClass(chip) != sn.DecideClass(fast) {
+		t.Fatal("decisions differ")
+	}
+}
+
+func TestChipMatchesFastPathMultiLayerWithFanout(t *testing.T) {
+	// Two-layer network with overlapping windows (fan-out > 1), integer
+	// biases, binary input: the chip's duplicated neurons must reproduce the
+	// fast path exactly.
+	realArch := &nn.Arch{
+		Name: "fanout", InputH: 8, InputW: 8, Block: 4, Stride: 2,
+		CoreSize: 16, Classes: 2, Tau: 4,
+		Windows: []nn.Window{{Size: 2, Stride: 1}}, // 3x3 -> 2x2, fan-out up to 4
+	}
+	net, err := realArch.Build(rng.NewPCG32(9, 9), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force integer biases.
+	for _, l := range net.Layers {
+		for _, c := range l.Cores {
+			for j := range c.Bias {
+				c.Bias[j] = float64(j%3 - 1)
+			}
+		}
+	}
+	sn := Sample(net, rng.NewPCG32(10, 10), DefaultSampleConfig())
+	cn, err := BuildChip(sn, MapSigned, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := binaryInput(64, 12)
+	fs := sn.NewFrameScratch()
+	fast := make([]int64, 2)
+	sn.Frame(fs, x, 2, rng.NewPCG32(13, 13), fast)
+	chip := cn.Frame(x, 2, rng.NewPCG32(14, 14))
+	for k := range fast {
+		if fast[k] != chip[k] {
+			t.Fatalf("class %d: fast %d vs chip %d", k, fast[k], chip[k])
+		}
+	}
+}
+
+func TestChipStochasticLeakAgreesStatistically(t *testing.T) {
+	// With fractional bias the two paths draw different randomness; firing
+	// rates must still agree.
+	w := [][]float64{{1, 1}}
+	net := singleCoreNet(w, []float64{-1.3}, 1)
+	sn := Sample(net, rng.NewPCG32(1, 1), DefaultSampleConfig())
+	cn, err := BuildChip(sn, MapSigned, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 0} // one active axon: v = 1 + leak(-2 or -1)
+	const frames = 20000
+	fs := sn.NewFrameScratch()
+	fastCounts := make([]int64, 1)
+	fsrc := rng.NewPCG32(3, 3)
+	for i := 0; i < frames; i++ {
+		sn.Frame(fs, x, 1, fsrc, fastCounts)
+	}
+	csrc := rng.NewPCG32(4, 4)
+	var chipCount int64
+	for i := 0; i < frames; i++ {
+		chipCount += cn.Frame(x, 1, csrc)[0]
+	}
+	// v = 1 + leak, leak in {-2 w.p. 0.3, -1 w.p. 0.7}: fires w.p. 0.7.
+	fastRate := float64(fastCounts[0]) / frames
+	chipRate := float64(chipCount) / frames
+	if math.Abs(fastRate-0.7) > 0.02 || math.Abs(chipRate-0.7) > 0.02 {
+		t.Fatalf("rates fast=%v chip=%v, want ~0.7", fastRate, chipRate)
+	}
+}
+
+func TestDualAxonHardwareValid(t *testing.T) {
+	net := integerBiasNet(4, 8, 2, 5)
+	sn := Sample(net, rng.NewPCG32(6, 6), DefaultSampleConfig())
+
+	signed, err := BuildChip(sn, MapSigned, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := BuildChip(sn, MapDualAxon, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The signed lowering violates hardware axon typing; dual-axon passes.
+	if err := signed.Chip.Core(0).ValidateHardware(); err == nil {
+		t.Fatal("signed mapping unexpectedly hardware-valid")
+	}
+	if err := dual.Chip.Core(0).ValidateHardware(); err != nil {
+		t.Fatalf("dual-axon mapping invalid: %v", err)
+	}
+}
+
+func TestDualAxonMatchesSignedFunctionally(t *testing.T) {
+	net := integerBiasNet(6, 10, 2, 8)
+	sn := Sample(net, rng.NewPCG32(9, 9), DefaultSampleConfig())
+	signed, err := BuildChip(sn, MapSigned, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := BuildChip(sn, MapDualAxon, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := binaryInput(10, 11)
+	a := signed.Frame(x, 4, rng.NewPCG32(12, 12))
+	b := dual.Frame(x, 4, rng.NewPCG32(13, 13))
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("class %d: signed %d vs dual %d", k, a[k], b[k])
+		}
+	}
+}
+
+func TestDualAxonRejectsMultiLayer(t *testing.T) {
+	arch := &nn.Arch{
+		Name: "deep", InputH: 8, InputW: 8, Block: 4, Stride: 4,
+		CoreSize: 16, Classes: 2, Tau: 4,
+		Windows: []nn.Window{{Size: 2, Stride: 1}},
+	}
+	net, err := arch.Build(rng.NewPCG32(1, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := Sample(net, rng.NewPCG32(2, 2), DefaultSampleConfig())
+	if _, err := BuildChip(sn, MapDualAxon, 3); err == nil {
+		t.Fatal("multi-layer dual-axon accepted (needs splitter cores)")
+	}
+}
+
+func TestChipOccupationMatchesModel(t *testing.T) {
+	net := integerBiasNet(4, 8, 2, 14)
+	sn := Sample(net, rng.NewPCG32(15, 15), DefaultSampleConfig())
+	cn, err := BuildChip(sn, MapSigned, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.Chip.NumCores() != sn.NumCores() {
+		t.Fatalf("chip cores %d vs model %d", cn.Chip.NumCores(), sn.NumCores())
+	}
+}
+
+func TestChipStatsAccumulate(t *testing.T) {
+	net := integerBiasNet(4, 8, 2, 17)
+	sn := Sample(net, rng.NewPCG32(18, 18), DefaultSampleConfig())
+	cn, err := BuildChip(sn, MapSigned, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := binaryInput(8, 20)
+	cn.Frame(x, 5, rng.NewPCG32(21, 21))
+	s := cn.Chip.Stats()
+	if s.Ticks != int64(5+cn.Depth()-1) {
+		t.Fatalf("ticks %d, want %d", s.Ticks, 5+cn.Depth()-1)
+	}
+}

@@ -1,0 +1,221 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestCoderByName(t *testing.T) {
+	for _, name := range []string{"stochastic", "rate", "burst"} {
+		c, err := CoderByName(name)
+		if err != nil || c.Name() != name {
+			t.Fatalf("CoderByName(%q) = %v, %v", name, c, err)
+		}
+	}
+	if c, err := CoderByName(""); err != nil || c.Name() != "stochastic" {
+		t.Fatal("empty name should default to stochastic")
+	}
+	if _, err := CoderByName("morse"); err == nil {
+		t.Fatal("unknown coder accepted")
+	}
+}
+
+func TestRateCodeSpikeCount(t *testing.T) {
+	// Property: over an spf-tick frame, rate code emits exactly
+	// round(x*spf) spikes for any intensity.
+	f := func(raw uint16, rawSPF uint8) bool {
+		x := float64(raw) / 65535
+		spf := 1 + int(rawSPF)%16
+		train := SpikeTrain(RateCode{}, x, spf, nil)
+		return train.OnesCount() == int(math.Round(x*float64(spf)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateCodeDeterministic(t *testing.T) {
+	a := SpikeTrain(RateCode{}, 0.37, 8, nil)
+	b := SpikeTrain(RateCode{}, 0.37, 8, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rate code not deterministic")
+		}
+	}
+}
+
+func TestRateCodeEvenSpacing(t *testing.T) {
+	// x = 0.5, spf = 8: 4 spikes, every other tick.
+	train := SpikeTrain(RateCode{}, 0.5, 8, nil)
+	if train.OnesCount() != 4 {
+		t.Fatalf("spikes %d, want 4", train.OnesCount())
+	}
+	// No two adjacent spikes for a 0.5 rate.
+	for tick := 0; tick+1 < 8; tick++ {
+		if train.Get(tick) && train.Get(tick+1) {
+			t.Fatalf("adjacent spikes at tick %d for rate 0.5", tick)
+		}
+	}
+}
+
+func TestRateCodeExtremes(t *testing.T) {
+	if SpikeTrain(RateCode{}, 0, 8, nil).OnesCount() != 0 {
+		t.Fatal("x=0 emitted spikes")
+	}
+	if SpikeTrain(RateCode{}, 1, 8, nil).OnesCount() != 8 {
+		t.Fatal("x=1 must spike every tick")
+	}
+	var r RateCode
+	if r.Spike(0.5, 0, 0, nil) {
+		t.Fatal("spf=0 emitted a spike")
+	}
+}
+
+func TestBurstCodePacksFront(t *testing.T) {
+	train := SpikeTrain(BurstCode{}, 0.5, 8, nil)
+	if train.OnesCount() != 4 {
+		t.Fatalf("spikes %d, want 4", train.OnesCount())
+	}
+	for tick := 0; tick < 4; tick++ {
+		if !train.Get(tick) {
+			t.Fatalf("burst missing spike at tick %d", tick)
+		}
+	}
+	for tick := 4; tick < 8; tick++ {
+		if train.Get(tick) {
+			t.Fatalf("burst spike at tail tick %d", tick)
+		}
+	}
+}
+
+func TestStochasticCodeMean(t *testing.T) {
+	src := rng.NewPCG32(5, 5)
+	var c StochasticCode
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if c.Spike(0.3, 0, 1, src) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("stochastic rate %v, want 0.3", rate)
+	}
+}
+
+func TestFrameCodedMatchesFrameForStochastic(t *testing.T) {
+	// With the same source, FrameCoded(stochastic) must equal Frame exactly.
+	w := [][]float64{{0.7, -0.4, 0.9}, {-0.6, 0.5, 0.2}}
+	net := singleCoreNet(w, []float64{0, -1}, 2)
+	sn := Sample(net, rng.NewPCG32(1, 1), DefaultSampleConfig())
+	x := []float64{0.3, 0.8, 0.5}
+
+	fs1 := sn.NewFrameScratch()
+	c1 := make([]int64, 2)
+	sn.Frame(fs1, x, 4, rng.NewPCG32(9, 9), c1)
+
+	fs2 := sn.NewFrameScratch()
+	c2 := make([]int64, 2)
+	sn.FrameCoded(fs2, x, 4, StochasticCode{}, rng.NewPCG32(9, 9), c2)
+
+	if c1[0] != c2[0] || c1[1] != c2[1] {
+		t.Fatalf("stochastic FrameCoded %v != Frame %v", c2, c1)
+	}
+}
+
+func TestRateCodeRemovesInputVariance(t *testing.T) {
+	// With pole weights (no synapse noise) and rate coding (no input noise),
+	// repeated frames give identical counts; stochastic coding does not.
+	w := [][]float64{{1, 1, -1, 1}}
+	net := singleCoreNet(w, []float64{-1.5}, 1)
+	sn := Sample(net, rng.NewPCG32(2, 2), DefaultSampleConfig())
+	x := []float64{0.5, 0.25, 0.75, 0.5}
+
+	counts := func(coder Coder, seed uint64) int64 {
+		fs := sn.NewFrameScratch()
+		c := make([]int64, 1)
+		sn.FrameCoded(fs, x, 8, coder, rng.NewPCG32(seed, 1), c)
+		return c[0]
+	}
+	// Rate code: identical across seeds (leak -1.5 is the only randomness
+	// and... it is fractional, so fix an integer leak instead).
+	net2 := singleCoreNet(w, []float64{-2}, 1)
+	sn2 := Sample(net2, rng.NewPCG32(2, 2), DefaultSampleConfig())
+	counts2 := func(coder Coder, seed uint64) int64 {
+		fs := sn2.NewFrameScratch()
+		c := make([]int64, 1)
+		sn2.FrameCoded(fs, x, 8, coder, rng.NewPCG32(seed, 1), c)
+		return c[0]
+	}
+	a, b := counts2(RateCode{}, 1), counts2(RateCode{}, 2)
+	if a != b {
+		t.Fatalf("rate code varied across seeds: %d vs %d", a, b)
+	}
+	// Stochastic coding varies (with overwhelming probability over 8 ticks).
+	varied := false
+	base := counts(StochasticCode{}, 1)
+	for seed := uint64(2); seed < 12; seed++ {
+		if counts(StochasticCode{}, seed) != base {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("stochastic coding produced identical counts across 10 seeds")
+	}
+}
+
+func TestCodedAccuracyRateBeatsStochasticOnMidGray(t *testing.T) {
+	// Mid-gray inputs maximize Bernoulli coding noise; the deterministic rate
+	// code should classify at least as well at the same spf.
+	d := blockDataset(300, 21)
+	// Squash contrast toward the middle to amplify coding noise.
+	for i := range d.X {
+		for j, v := range d.X[i] {
+			d.X[i][j] = 0.3 + v*0.4
+		}
+	}
+	netMid := trainedOn(t, d)
+	sn := Sample(netMid, rng.NewPCG32(31, 1), DefaultSampleConfig())
+	inputs := d.X[:200]
+	labels := d.Y[:200]
+	accStoch := CodedAccuracy(sn, inputs, labels, 3, StochasticCode{}, 7)
+	accRate := CodedAccuracy(sn, inputs, labels, 3, RateCode{}, 7)
+	t.Logf("stochastic %.3f vs rate %.3f", accStoch, accRate)
+	if accRate+0.05 < accStoch {
+		t.Fatalf("rate code (%v) markedly worse than stochastic (%v)", accRate, accStoch)
+	}
+}
+
+// trainedOn trains the small block architecture on the given dataset.
+func trainedOn(t *testing.T, d *dataset.Dataset) *nn.Network {
+	t.Helper()
+	arch := &nn.Arch{
+		Name: "coding-test", InputH: 8, InputW: 8, Block: 4, Stride: 4,
+		CoreSize: 16, Classes: 2, Tau: 8, InitScale: 0.3,
+	}
+	net, err := arch.Build(rng.NewPCG32(5, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nn.TrainConfig{Epochs: 8, Batch: 16, LR: 0.15, Momentum: 0.9, LRDecay: 0.9,
+		Penalty: nn.NonePenalty{}, Seed: 42, Workers: 4}
+	if _, err := nn.Train(net, d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCodedAccuracyEmptyInputs(t *testing.T) {
+	net := singleCoreNet([][]float64{{1}}, []float64{0}, 1)
+	sn := Sample(net, rng.NewPCG32(1, 1), DefaultSampleConfig())
+	if acc := CodedAccuracy(sn, nil, nil, 1, RateCode{}, 1); acc != 0 {
+		t.Fatalf("empty accuracy %v", acc)
+	}
+}

@@ -1,0 +1,107 @@
+package deploy
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// DeviationMap reproduces Figure 4 of the paper: for one neuro-synaptic core,
+// the per-synapse deviation between the deployed integer weight and the
+// desired trained weight, normalized by the maximum possible synaptic weight.
+type DeviationMap struct {
+	Axons, Neurons int
+	// Dev[j*Axons+i] = |deployed(i,j) - trained(i,j)| / CMax, in [0,1].
+	Dev []float64
+}
+
+// DeviationStats summarizes a map the way the paper quotes Figure 4.
+type DeviationStats struct {
+	// ZeroFrac is the fraction of synapses with exactly zero deviation
+	// (98.45% under biased learning in the paper).
+	ZeroFrac float64
+	// OverHalfFrac is the fraction with deviation > 50% (24.01% under Tea
+	// learning, <0.02% under biased learning).
+	OverHalfFrac float64
+	// Mean is the average deviation.
+	Mean float64
+}
+
+// CoreDeviation samples the connectivity of one trained core (layer li, core
+// ci of net) and returns its deviation map. Sampling uses the same
+// quantization as deployment, so the map reflects exactly what the chip
+// would carry.
+func CoreDeviation(net *nn.Network, li, ci int, src *rng.PCG32) (*DeviationMap, error) {
+	if li < 0 || li >= len(net.Layers) {
+		return nil, fmt.Errorf("deploy: layer %d out of range", li)
+	}
+	l := net.Layers[li]
+	if ci < 0 || ci >= len(l.Cores) {
+		return nil, fmt.Errorf("deploy: core %d out of range in layer %d", ci, li)
+	}
+	c := l.Cores[ci]
+	axons := len(c.In)
+	m := &DeviationMap{Axons: axons, Neurons: c.Neurons(), Dev: make([]float64, axons*c.Neurons())}
+	cmax := net.CMax
+	for j := 0; j < c.Neurons(); j++ {
+		row := c.W.Row(j)
+		for i := range row {
+			p, positive := Quantize(row[i], cmax)
+			deployed := 0.0
+			if rng.Bernoulli(src, p) {
+				if positive {
+					deployed = cmax
+				} else {
+					deployed = -cmax
+				}
+			}
+			m.Dev[j*axons+i] = math.Abs(deployed-row[i]) / cmax
+		}
+	}
+	return m, nil
+}
+
+// Stats summarizes the deviation map.
+func (m *DeviationMap) Stats() DeviationStats {
+	var s DeviationStats
+	if len(m.Dev) == 0 {
+		return s
+	}
+	zero, over := 0, 0
+	sum := 0.0
+	for _, d := range m.Dev {
+		if d == 0 {
+			zero++
+		}
+		if d > 0.5 {
+			over++
+		}
+		sum += d
+	}
+	n := float64(len(m.Dev))
+	s.ZeroFrac = float64(zero) / n
+	s.OverHalfFrac = float64(over) / n
+	s.Mean = sum / n
+	return s
+}
+
+// WritePGM renders the deviation map as a binary 8-bit PGM image (darker =
+// smaller deviation), the visual analogue of Figure 4.
+func (m *DeviationMap) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", m.Axons, m.Neurons); err != nil {
+		return err
+	}
+	buf := make([]byte, len(m.Dev))
+	for i, d := range m.Dev {
+		v := d
+		if v > 1 {
+			v = 1
+		}
+		buf[i] = byte(v * 255)
+	}
+	_, err := w.Write(buf)
+	return err
+}

@@ -1,0 +1,284 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// EvalConfig controls Monte-Carlo deployment evaluation.
+type EvalConfig struct {
+	// Copies is the number of spatial network copies averaged (paper: 1-16).
+	Copies int
+	// SPF is the number of temporal spike samples per pixel (paper: 1-13).
+	SPF int
+	// Repeats is the number of independent deployments averaged; the paper
+	// uses 10 ("we have averaged accuracy at each grid over ten results").
+	Repeats int
+	// Limit evaluates only the first Limit test samples (0 = all).
+	Limit int
+	// Seed derives every sampling and spike stream.
+	Seed uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Sample configures per-copy sampling.
+	Sample SampleConfig
+}
+
+// DefaultEvalConfig mirrors the paper's measurement protocol.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{Copies: 1, SPF: 1, Repeats: 10, Seed: 1, Sample: DefaultSampleConfig()}
+}
+
+func (c *EvalConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is a deployment accuracy measurement.
+type Result struct {
+	Accuracy float64 // mean over repeats
+	StdDev   float64 // std over repeats
+	Copies   int
+	SPF      int
+	Cores    int // Copies * cores-per-copy: the paper's occupation metric
+}
+
+// Evaluate measures deployed accuracy of net on d at one (copies, spf) point.
+func Evaluate(net *nn.Network, d *dataset.Dataset, cfg EvalConfig) (Result, error) {
+	surf, err := Surface(net, d, cfg.Copies, cfg.SPF, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cell := surf.Cell(cfg.Copies, cfg.SPF)
+	return cell, nil
+}
+
+// SurfaceResult is the full accuracy grid of Figure 7: mean deployed accuracy
+// for every (copies, spf) combination up to the sampled maxima.
+type SurfaceResult struct {
+	MaxCopies, MaxSPF int
+	CoresPerCopy      int
+	// Mean[c][s] is the mean accuracy with c+1 copies and s+1 spf.
+	Mean [][]float64
+	// Std[c][s] is the across-repeat standard deviation.
+	Std [][]float64
+}
+
+// Cell returns the Result at (copies, spf), both 1-based.
+func (r *SurfaceResult) Cell(copies, spf int) Result {
+	return Result{
+		Accuracy: r.Mean[copies-1][spf-1],
+		StdDev:   r.Std[copies-1][spf-1],
+		Copies:   copies,
+		SPF:      spf,
+		Cores:    copies * r.CoresPerCopy,
+	}
+}
+
+// Surface evaluates the whole accuracy grid in a single pass per repeat.
+//
+// The trick making Figure 7 affordable: per test image we keep spike counts
+// per (copy, tick, class); the prediction for the (c, s) grid point is then
+// the argmax of counts summed over the first c copies and first s ticks. One
+// pass therefore prices only the largest grid point while producing every
+// cell, and nested reuse matches how averaging over instantiations works on
+// the physical chip (adding copies/ticks to an existing deployment).
+func Surface(net *nn.Network, d *dataset.Dataset, maxCopies, maxSPF int, cfg EvalConfig) (*SurfaceResult, error) {
+	if maxCopies <= 0 || maxSPF <= 0 {
+		return nil, fmt.Errorf("deploy: non-positive surface dims %dx%d", maxCopies, maxSPF)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	n := d.Len()
+	if cfg.Limit > 0 && cfg.Limit < n {
+		n = cfg.Limit
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("deploy: empty dataset")
+	}
+	repeats := cfg.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+
+	inputs := padInputs(net, d, n)
+	res := &SurfaceResult{MaxCopies: maxCopies, MaxSPF: maxSPF, CoresPerCopy: net.NumCores()}
+	res.Mean = newGrid(maxCopies, maxSPF)
+	res.Std = newGrid(maxCopies, maxSPF)
+	accs := make([][][]float64, repeats) // [repeat][copies][spf]
+
+	root := rng.NewPCG32(cfg.Seed, 11)
+	for rep := 0; rep < repeats; rep++ {
+		// Independent copies for this repeat.
+		repSrc := root.Split(uint64(rep))
+		copies := make([]*SampledNet, maxCopies)
+		for c := range copies {
+			copies[c] = Sample(net, repSrc.Split(uint64(c)), cfg.Sample)
+		}
+		correct := evaluateSurfaceOnce(copies, inputs, d.Y[:n], maxCopies, maxSPF, repSrc.Split(1<<32), cfg.workers())
+		grid := newGrid(maxCopies, maxSPF)
+		for c := 0; c < maxCopies; c++ {
+			for s := 0; s < maxSPF; s++ {
+				grid[c][s] = float64(correct[c][s]) / float64(n)
+			}
+		}
+		accs[rep] = grid
+	}
+	for c := 0; c < maxCopies; c++ {
+		for s := 0; s < maxSPF; s++ {
+			mean := 0.0
+			for rep := range accs {
+				mean += accs[rep][c][s]
+			}
+			mean /= float64(repeats)
+			variance := 0.0
+			for rep := range accs {
+				dv := accs[rep][c][s] - mean
+				variance += dv * dv
+			}
+			res.Mean[c][s] = mean
+			res.Std[c][s] = sqrt(variance / float64(repeats))
+		}
+	}
+	return res, nil
+}
+
+// evaluateSurfaceOnce runs one repeat and returns correct-prediction counts
+// per (copies, spf) cell.
+func evaluateSurfaceOnce(copies []*SampledNet, inputs [][]float64, labels []int, maxCopies, maxSPF int, imgRoot *rng.PCG32, workers int) [][]int64 {
+	n := len(inputs)
+	classes := copies[0].Classes()
+	correct := make([][]int64, maxCopies)
+	for c := range correct {
+		correct[c] = make([]int64, maxSPF)
+	}
+	// Per-image streams keyed by index so results are scheduling-independent.
+	streams := make([]*rng.PCG32, n)
+	for i := range streams {
+		streams[i] = imgRoot.Split(uint64(i))
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scratches := make([]*FrameScratch, len(copies))
+			for c := range copies {
+				scratches[c] = copies[c].NewFrameScratch()
+			}
+			// counts[copy][tick][class] spike tallies for one image.
+			counts := make([][][]int64, maxCopies)
+			for c := range counts {
+				counts[c] = make([][]int64, maxSPF)
+				for s := range counts[c] {
+					counts[c][s] = make([]int64, classes)
+				}
+			}
+			local := make([][]int64, maxCopies)
+			for c := range local {
+				local[c] = make([]int64, maxSPF)
+			}
+			// prefix[c][s][k] = sum of counts over copies 0..c and ticks 0..s.
+			prefix := make([][][]int64, maxCopies)
+			for c := range prefix {
+				prefix[c] = make([][]int64, maxSPF)
+				for s := range prefix[c] {
+					prefix[c][s] = make([]int64, classes)
+				}
+			}
+			for i := lo; i < hi; i++ {
+				src := streams[i]
+				for c := range copies {
+					for s := 0; s < maxSPF; s++ {
+						for k := range counts[c][s] {
+							counts[c][s][k] = 0
+						}
+						copies[c].EncodeInput(scratches[c], inputs[i], src)
+						copies[c].Tick(scratches[c], src, counts[c][s])
+					}
+				}
+				// 2-D inclusion-exclusion prefix over (copies, ticks).
+				for c := 0; c < maxCopies; c++ {
+					for s := 0; s < maxSPF; s++ {
+						for k := 0; k < classes; k++ {
+							v := counts[c][s][k]
+							if c > 0 {
+								v += prefix[c-1][s][k]
+							}
+							if s > 0 {
+								v += prefix[c][s-1][k]
+							}
+							if c > 0 && s > 0 {
+								v -= prefix[c-1][s-1][k]
+							}
+							prefix[c][s][k] = v
+						}
+						if copies[0].DecideClass(prefix[c][s]) == labels[i] {
+							local[c][s]++
+						}
+					}
+				}
+			}
+			mu.Lock()
+			for c := 0; c < maxCopies; c++ {
+				for s := 0; s < maxSPF; s++ {
+					correct[c][s] += local[c][s]
+				}
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return correct
+}
+
+func newGrid(rows, cols int) [][]float64 {
+	g := make([][]float64, rows)
+	for i := range g {
+		g[i] = make([]float64, cols)
+	}
+	return g
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// padInputs zero-extends features to the network input width.
+func padInputs(net *nn.Network, d *dataset.Dataset, n int) [][]float64 {
+	want := net.Layers[0].InDim
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		x := d.X[i]
+		if len(x) == want {
+			out[i] = x
+			continue
+		}
+		p := make([]float64, want)
+		copy(p, x)
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package deploy implements the model-to-chip deployment pipeline of the
+// paper: quantizing trained real-valued weights into Bernoulli synapse
+// probabilities (Eqs. 6-7), sampling network copies, encoding inputs as spike
+// trains (Eq. 8, rate code with configurable spikes-per-frame), running the
+// spike-domain network, and decoding merged class spike counts.
+//
+// Two execution paths are provided and tested against each other:
+//
+//   - the fast path (SampledNet.Frame): a static-routing evaluator that runs
+//     each sampled copy layer by layer with bit-parallel integer arithmetic —
+//     mathematically identical to the chip because routing is static and
+//     McCulloch-Pitts neurons are memoryless;
+//   - the chip path (BuildChip): a full truenorth.Chip with explicit spike
+//     routing, neuron duplication for fan-out, and per-tick transport latency.
+//
+// All Monte-Carlo draws are derived from explicit seeds, so every experiment
+// in the paper reproduction is replayable.
+package deploy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/truenorth"
+)
+
+// SampleConfig controls how one network copy is drawn.
+type SampleConfig struct {
+	// StochasticLeak realizes fractional biases with per-tick Bernoulli leak
+	// (the default). When false, biases are rounded to the nearest integer —
+	// the cheaper, biased alternative measured in the ablation bench.
+	StochasticLeak bool
+}
+
+// DefaultSampleConfig returns the paper-faithful settings.
+func DefaultSampleConfig() SampleConfig { return SampleConfig{StochasticLeak: true} }
+
+// sampledCore is one deployed neuro-synaptic core of one network copy.
+type sampledCore struct {
+	in      []int // layer-input indices feeding the axons, in axon order
+	neurons int
+	exports int
+	// plus and minus are per-neuron connectivity masks over the core's local
+	// axon index space: synapses whose integer weight is +CMax and -CMax.
+	plus, minus []truenorth.BitVec
+	// leak is the per-neuron deployed leak (trained bias).
+	leak []float64
+	// intLeak is the pre-rounded leak used when stochastic leak is disabled.
+	intLeak []int32
+	stoch   bool
+}
+
+// sampledLayer groups the cores reading one shared input vector.
+type sampledLayer struct {
+	cores []*sampledCore
+	inDim int
+	// outDim is the concatenated export width.
+	outDim int
+}
+
+// SampledNet is one deployed copy of a trained network: the result of drawing
+// every synapse once from its Bernoulli connection probability (the paper's
+// spatial-domain instantiation).
+type SampledNet struct {
+	layers  []*sampledLayer
+	cmax    int32
+	classes int
+	// classOf[g] maps final-layer neuron g to its merged output class.
+	classOf []int
+	// classN[k] is the number of neurons merged into class k.
+	classN []int
+}
+
+// Classes returns the readout width.
+func (sn *SampledNet) Classes() int { return sn.classes }
+
+// NumCores returns the per-copy core count.
+func (sn *SampledNet) NumCores() int {
+	n := 0
+	for _, l := range sn.layers {
+		n += len(l.cores)
+	}
+	return n
+}
+
+// InputDim returns the expected input vector length.
+func (sn *SampledNet) InputDim() int { return sn.layers[0].inDim }
+
+// Depth returns the number of core layers (= on-chip pipeline depth in ticks).
+func (sn *SampledNet) Depth() int { return len(sn.layers) }
+
+// Quantize converts a trained weight into the paper's (probability, sign)
+// pair: p = |w|/CMax in [0,1] and c = sign(w). Eq. (7) guarantees
+// E{c * CMax * Bernoulli(p)} = w.
+func Quantize(w, cmax float64) (p float64, positive bool) {
+	p = math.Abs(w) / cmax
+	if p > 1 {
+		p = 1
+	}
+	return p, w > 0
+}
+
+// Sample draws one network copy from net using src. The trained model is not
+// modified; every call with a fresh stream yields an independent spatial copy.
+func Sample(net *nn.Network, src *rng.PCG32, cfg SampleConfig) *SampledNet {
+	cmax := net.CMax
+	sn := &SampledNet{cmax: int32(math.Round(cmax))}
+	if sn.cmax < 1 {
+		sn.cmax = 1
+	}
+	for _, l := range net.Layers {
+		sl := &sampledLayer{inDim: l.InDim}
+		for _, c := range l.Cores {
+			sc := &sampledCore{
+				in:      c.In,
+				neurons: c.Neurons(),
+				exports: c.Exports,
+				leak:    make([]float64, c.Neurons()),
+				intLeak: make([]int32, c.Neurons()),
+				stoch:   cfg.StochasticLeak,
+			}
+			axons := len(c.In)
+			sc.plus = make([]truenorth.BitVec, c.Neurons())
+			sc.minus = make([]truenorth.BitVec, c.Neurons())
+			for j := 0; j < c.Neurons(); j++ {
+				sc.plus[j] = truenorth.NewBitVec(axons)
+				sc.minus[j] = truenorth.NewBitVec(axons)
+				row := c.W.Row(j)
+				for i := range row {
+					p, positive := Quantize(row[i], cmax)
+					if !rng.Bernoulli(src, p) {
+						continue
+					}
+					if positive {
+						sc.plus[j].Set(i)
+					} else {
+						sc.minus[j].Set(i)
+					}
+				}
+				sc.leak[j] = c.Bias[j]
+				sc.intLeak[j] = int32(math.Round(c.Bias[j]))
+			}
+			sl.cores = append(sl.cores, sc)
+			sl.outDim += c.Exports
+		}
+		sn.layers = append(sn.layers, sl)
+	}
+	ro := net.Readout
+	sn.classes = ro.Classes
+	last := sn.layers[len(sn.layers)-1]
+	sn.classOf = make([]int, last.outDim)
+	sn.classN = make([]int, ro.Classes)
+	for g := 0; g < last.outDim; g++ {
+		k := ro.Assignment(g)
+		sn.classOf[g] = k
+		sn.classN[k]++
+	}
+	return sn
+}
+
+// leakDraw realizes neuron j's leak for one tick.
+func (sc *sampledCore) leakDraw(j int, src rng.Source) int32 {
+	if !sc.stoch {
+		return sc.intLeak[j]
+	}
+	fl := math.Floor(sc.leak[j])
+	l := int32(fl)
+	if frac := sc.leak[j] - fl; frac > 0 && rng.Bernoulli(src, frac) {
+		l++
+	}
+	return l
+}
+
+// FrameScratch holds the per-goroutine state for frame evaluation.
+type FrameScratch struct {
+	input   truenorth.BitVec
+	layerIO []truenorth.BitVec // spike vectors between layers
+	local   []truenorth.BitVec // per-layer max core-local axon buffers
+}
+
+// NewFrameScratch allocates scratch buffers for sn.
+func (sn *SampledNet) NewFrameScratch() *FrameScratch {
+	fs := &FrameScratch{input: truenorth.NewBitVec(sn.layers[0].inDim)}
+	for _, l := range sn.layers {
+		fs.layerIO = append(fs.layerIO, truenorth.NewBitVec(l.outDim))
+		maxAxons := 0
+		for _, c := range l.cores {
+			if len(c.in) > maxAxons {
+				maxAxons = len(c.in)
+			}
+		}
+		fs.local = append(fs.local, truenorth.NewBitVec(maxAxons))
+	}
+	return fs
+}
+
+// Tick runs one tick of the copy given the input spike vector already staged
+// in fs.input, accumulating final-layer spike counts into classCounts (length
+// Classes). src drives stochastic leak.
+func (sn *SampledNet) Tick(fs *FrameScratch, src rng.Source, classCounts []int64) {
+	in := fs.input
+	for li, l := range sn.layers {
+		out := fs.layerIO[li]
+		out.Zero()
+		outBase := 0
+		for _, c := range l.cores {
+			// Gather the core-local active axon set.
+			local := fs.local[li][:(len(c.in)+63)/64]
+			for w := range local {
+				local[w] = 0
+			}
+			for a, idx := range c.in {
+				if in.Get(idx) {
+					local.Set(a)
+				}
+			}
+			last := li == len(sn.layers)-1
+			for j := 0; j < c.neurons; j++ {
+				v := sn.cmax*int32(truenorth.AndPopcount(local, c.plus[j])-truenorth.AndPopcount(local, c.minus[j])) + c.leakDraw(j, src)
+				if v < 0 {
+					continue
+				}
+				if j < c.exports {
+					out.Set(outBase + j)
+				}
+				if last {
+					classCounts[sn.classOf[outBase+j]]++
+				}
+			}
+			outBase += c.exports
+		}
+		in = out
+	}
+}
+
+// EncodeInput stages one Bernoulli spike realization of x (Eq. 8) in fs.
+func (sn *SampledNet) EncodeInput(fs *FrameScratch, x []float64, src rng.Source) {
+	fs.input.Zero()
+	for i, v := range x {
+		if rng.Bernoulli(src, v) {
+			fs.input.Set(i)
+		}
+	}
+}
+
+// Frame classifies one input with spf temporal samples: each of the spf ticks
+// draws a fresh input spike realization, and class spike counts accumulate
+// across ticks. Returns the per-class counts.
+func (sn *SampledNet) Frame(fs *FrameScratch, x []float64, spf int, src rng.Source, classCounts []int64) {
+	if len(x) > sn.layers[0].inDim {
+		panic(fmt.Sprintf("deploy: input dim %d exceeds network %d", len(x), sn.layers[0].inDim))
+	}
+	for t := 0; t < spf; t++ {
+		sn.EncodeInput(fs, x, src)
+		sn.Tick(fs, src, classCounts)
+	}
+}
+
+// DecideClass converts merged class spike counts into a prediction,
+// normalizing by the neuron count of each class (classes may differ by one
+// neuron under round-robin merging). Ties resolve to the lowest class index.
+func (sn *SampledNet) DecideClass(classCounts []int64) int {
+	best, bi := math.Inf(-1), 0
+	for k, n := range sn.classN {
+		score := float64(classCounts[k]) / float64(n)
+		if score > best {
+			best, bi = score, k
+		}
+	}
+	return bi
+}

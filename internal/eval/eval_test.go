@@ -1,0 +1,388 @@
+package eval
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// testOptions shrinks everything so the whole experiment stack runs in
+// seconds: 600 training samples, 2 epochs, 2 repeats.
+func testOptions() Options {
+	return Options{
+		Quick: true, Seed: 20160605, Workers: 8,
+		TrainN: 600, TestN: 200, EpochsN: 2, RepeatsN: 2,
+	}
+}
+
+func TestBenchesMatchTable3Geometry(t *testing.T) {
+	bs := Benches()
+	if len(bs) != 5 {
+		t.Fatalf("%d benches", len(bs))
+	}
+	wantCores := [][]int{{4}, {16}, {49, 9, 4}, {4}, {16, 9}}
+	for i, b := range bs {
+		if err := b.Arch.Validate(); err != nil {
+			t.Fatalf("bench %d: %v", b.ID, err)
+		}
+		got := b.Arch.CoresPerLayer()
+		if len(got) != len(wantCores[i]) {
+			t.Fatalf("bench %d: %v layers, want %v", b.ID, got, wantCores[i])
+		}
+		for l := range got {
+			if got[l] != wantCores[i][l] {
+				t.Fatalf("bench %d layer %d: %d cores, want %d", b.ID, l, got[l], wantCores[i][l])
+			}
+		}
+		for l := range got {
+			if got[l] != b.PaperCores[l] {
+				t.Fatalf("bench %d: PaperCores mismatch", b.ID)
+			}
+		}
+	}
+}
+
+func TestBenchByID(t *testing.T) {
+	if _, err := BenchByID(0); err == nil {
+		t.Fatal("bench 0 accepted")
+	}
+	b, err := BenchByID(3)
+	if err != nil || b.ID != 3 {
+		t.Fatalf("BenchByID(3) = %+v, %v", b, err)
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	full := DefaultOptions()
+	trainN, testN := full.TrainSizes("digits")
+	if trainN != 60000 || testN != 10000 {
+		t.Fatalf("full digits sizes %d/%d", trainN, testN)
+	}
+	trainN, testN = full.TrainSizes("protein")
+	if trainN != 17766 || testN != 6621 {
+		t.Fatalf("full protein sizes %d/%d", trainN, testN)
+	}
+	if full.Epochs() != 10 || full.Repeats() != 10 {
+		t.Fatalf("full epochs/repeats %d/%d", full.Epochs(), full.Repeats())
+	}
+	quick := Options{Quick: true}
+	if e := quick.Epochs(); e >= 10 {
+		t.Fatalf("quick epochs %d", e)
+	}
+	ovr := testOptions()
+	trainN, testN = ovr.TrainSizes("digits")
+	if trainN != 600 || testN != 200 {
+		t.Fatalf("override sizes %d/%d", trainN, testN)
+	}
+}
+
+func TestPairLaddersPaperProcedure(t *testing.T) {
+	// Synthetic ladders: N at 4 cores/copy, B at 4 cores/copy.
+	n := BuildLadder("N", 4, []float64{0.90, 0.92, 0.93, 0.94})
+	b := BuildLadder("B", 4, []float64{0.925, 0.94, 0.95})
+	ps := PairLadders(n, b)
+	if len(ps) != 4 {
+		t.Fatalf("%d pairings, want 4", len(ps))
+	}
+	// N1 (0.90) -> B1 (0.925): saved 0.
+	if ps[0].B.Label != "B1" || ps[0].Saved != 0 {
+		t.Fatalf("pairing 0: %+v", ps[0])
+	}
+	// N3 (0.93) -> B2 (0.94): 12 - 8 = 4 cores saved.
+	if ps[2].B.Label != "B2" || ps[2].Saved != 4 {
+		t.Fatalf("pairing 2: %+v", ps[2])
+	}
+	// N4 (0.94) -> B2: 16 - 8 = 8 saved = 50%.
+	if ps[3].Saved != 8 || math.Abs(ps[3].SavedPct-0.5) > 1e-12 {
+		t.Fatalf("pairing 3: %+v", ps[3])
+	}
+	if math.Abs(MaxSavedPct(ps)-0.5) > 1e-12 {
+		t.Fatalf("max saved %v", MaxSavedPct(ps))
+	}
+	if MaxSpeedup(ps) != 2 {
+		t.Fatalf("max speedup %v", MaxSpeedup(ps))
+	}
+}
+
+func TestPairLaddersSkipsUnreachable(t *testing.T) {
+	n := BuildLadder("N", 4, []float64{0.99})
+	b := BuildLadder("B", 4, []float64{0.90})
+	if ps := PairLadders(n, b); len(ps) != 0 {
+		t.Fatalf("unreachable accuracy paired: %+v", ps)
+	}
+}
+
+func TestPairLaddersPicksCheapest(t *testing.T) {
+	n := BuildLadder("N", 4, []float64{0.90})
+	// Both B1 and B3 beat 0.90; B1 is cheaper and must win.
+	b := BuildLadder("B", 4, []float64{0.91, 0.89, 0.95})
+	ps := PairLadders(n, b)
+	if len(ps) != 1 || ps[0].B.Label != "B1" {
+		t.Fatalf("pairing %+v", ps)
+	}
+}
+
+func TestAverageSavedPctEmpty(t *testing.T) {
+	if AverageSavedPct(nil) != 0 {
+		t.Fatal("empty average not zero")
+	}
+}
+
+func TestRunnerCachesModelsAndData(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	b, _ := BenchByID(1)
+	tr1, te1 := r.Data(b)
+	tr2, te2 := r.Data(b)
+	if tr1 != tr2 || te1 != te2 {
+		t.Fatal("dataset not cached")
+	}
+	m1, err := r.Model(b, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Model(b, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("model not cached")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	rows, err := Table1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Features != 784 || rows[1].Features != 357 {
+		t.Fatalf("feature dims %d/%d, want 784/357", rows[0].Features, rows[1].Features)
+	}
+	if rows[0].Classes != 10 || rows[1].Classes != 3 {
+		t.Fatalf("classes %d/%d", rows[0].Classes, rows[1].Classes)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "784") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestSection31SmallScale(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	s, err := Section31(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FloatAcc < 0.3 {
+		t.Fatalf("float accuracy %v (even tiny training should beat chance)", s.FloatAcc)
+	}
+	if s.Cores1 != 4 || s.Cores16 != 64 {
+		t.Fatalf("cores %d/%d", s.Cores1, s.Cores16)
+	}
+	// Averaging 16 copies must not hurt (within noise).
+	if s.Deployed16Acc+0.05 < s.Deployed1Acc {
+		t.Fatalf("16 copies (%v) worse than 1 (%v)", s.Deployed16Acc, s.Deployed1Acc)
+	}
+	out := RenderSection31(s)
+	if !strings.Contains(out, "paper: 90.04%") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestFig5SmallScale(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	f, err := Fig5(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Hist) != 3 {
+		t.Fatalf("%d histograms", len(f.Hist))
+	}
+	for i, h := range f.Hist {
+		sum := 0.0
+		for _, v := range h {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("histogram %d mass %v", i, sum)
+		}
+	}
+	// Biased must polarize more than none, and shrink mean variance.
+	if f.PolarFrac[2] <= f.PolarFrac[0] {
+		t.Fatalf("biased polar %v <= none %v", f.PolarFrac[2], f.PolarFrac[0])
+	}
+	if f.MeanVariance[2] >= f.MeanVariance[0] {
+		t.Fatalf("biased variance %v >= none %v", f.MeanVariance[2], f.MeanVariance[0])
+	}
+	out := RenderFig5(f)
+	if !strings.Contains(out, "penalty=biased") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	opt := testOptions()
+	opt.EpochsN = 8 // enough for the biased penalty (warmup 2) to polarize
+	opt.OutDir = t.TempDir()
+	r := NewRunner(opt, nil)
+	f, err := Fig4(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Biased learning must deploy with systematically smaller deviation.
+	if f.Biased.Mean >= f.Tea.Mean {
+		t.Fatalf("biased mean deviation %v >= tea %v", f.Biased.Mean, f.Tea.Mean)
+	}
+	if f.Biased.OverHalfFrac >= f.Tea.OverHalfFrac {
+		t.Fatalf("biased over-half %v >= tea %v", f.Biased.OverHalfFrac, f.Tea.OverHalfFrac)
+	}
+	if len(f.PGMPaths) != 2 {
+		t.Fatalf("PGM paths %v", f.PGMPaths)
+	}
+	out := RenderFig4(f)
+	if !strings.Contains(out, "98.45%") {
+		t.Fatalf("render missing paper reference: %s", out)
+	}
+}
+
+func TestFig7Table2Fig9SmallScale(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	f, err := Fig7(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Tea.MaxCopies != 16 || f.Tea.MaxSPF != 4 {
+		t.Fatalf("surface dims %dx%d", f.Tea.MaxCopies, f.Tea.MaxSPF)
+	}
+	boost := f.Boost()
+	if len(boost) != 16 || len(boost[0]) != 4 {
+		t.Fatal("boost dims")
+	}
+	t2a := Table2a(r, f)
+	if len(t2a.N) != 16 || len(t2a.B) != 5 {
+		t.Fatalf("ladder sizes %d/%d", len(t2a.N), len(t2a.B))
+	}
+	if t2a.N[0].Cost != 4 || t2a.N[15].Cost != 64 {
+		t.Fatalf("N ladder costs %d..%d", t2a.N[0].Cost, t2a.N[15].Cost)
+	}
+	f9a := Fig9a(r, f)
+	if len(f9a.SPF) != 4 {
+		t.Fatalf("fig9a spf %v", f9a.SPF)
+	}
+	out := RenderTable2a(t2a) + RenderFig7(f) + RenderFig9a(f9a)
+	for _, want := range []string{"Table 2(a)", "Figure 7", "Figure 8", "Figure 9(a)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2bSmallScale(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	t2b, err := Table2b(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2b.N) != 13 || len(t2b.B) != 13 {
+		t.Fatalf("ladder sizes %d/%d", len(t2b.N), len(t2b.B))
+	}
+	out := RenderTable2b(t2b)
+	if !strings.Contains(out, "paper: 6.5x") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestAblationsSmallScale(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	sig, err := AblationSigma(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 2 || sig[0].Name != "full-gradient" {
+		t.Fatalf("sigma rows %+v", sig)
+	}
+	leak, err := AblationLeak(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leak) != 2 {
+		t.Fatalf("leak rows %+v", leak)
+	}
+	m, err := AblationMapping(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SignedHardwareValid {
+		t.Fatal("signed mapping should violate hardware typing")
+	}
+	if !m.DualHardwareValid {
+		t.Fatal("dual-axon mapping should be hardware valid")
+	}
+	if !m.CountsAgree {
+		t.Fatal("mappings disagree functionally")
+	}
+	if m.DualAxonsPerCore != 2*m.SignedAxonsPerCore {
+		t.Fatalf("axons %d vs %d", m.DualAxonsPerCore, m.SignedAxonsPerCore)
+	}
+	coding, err := AblationCoding(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coding) != 3 {
+		t.Fatalf("coding rows %+v", coding)
+	}
+	names := map[string]bool{}
+	for _, row := range coding {
+		names[row.Name] = true
+		if row.Deployed < 0 || row.Deployed > 1 {
+			t.Fatalf("coding accuracy out of range: %+v", row)
+		}
+	}
+	if !names["stochastic"] || !names["rate"] || !names["burst"] {
+		t.Fatalf("coding names %v", names)
+	}
+	cont, err := AblationContinuity(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cont) != 2 {
+		t.Fatalf("continuity rows %+v", cont)
+	}
+	out := RenderAblation("sigma", sig) + RenderMapping(m)
+	if !strings.Contains(out, "dual-axon") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestWriteSurfaceCSV(t *testing.T) {
+	r := NewRunner(testOptions(), nil)
+	b, _ := BenchByID(1)
+	surf, err := r.Surface(b, "none", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WriteSurfaceCSV(dir, "surface.csv", surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(data, "copies,spf1,spf2\n") {
+		t.Fatalf("csv header: %s", data)
+	}
+	if len(strings.Split(strings.TrimSpace(data), "\n")) != 3 {
+		t.Fatalf("csv rows: %s", data)
+	}
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,110 @@
+package eval
+
+import "fmt"
+
+// LadderEntry is one network configuration in a Table 2 comparison: a model
+// family (N = Tea/none, B = biased) instantiated with some number of units
+// (network copies in Table 2a, spf in Table 2b) and its measured accuracy.
+type LadderEntry struct {
+	// Label is the paper's notation: N1, N2, ..., B1, ...
+	Label string
+	// Units is the duplication count: copies (2a) or spf (2b).
+	Units int
+	// Cost is the resource metric being compared: occupied cores (2a) or
+	// spf ticks (2b).
+	Cost int
+	// Accuracy is the measured deployed accuracy.
+	Accuracy float64
+}
+
+// Pairing matches one Tea configuration with the cheapest biased
+// configuration reaching at least its accuracy — the paper's deliberately
+// Tea-favoring comparison procedure (section 4.3).
+type Pairing struct {
+	N, B LadderEntry
+	// Saved is N.Cost - B.Cost (cores saved in 2a).
+	Saved int
+	// SavedPct is Saved / N.Cost.
+	SavedPct float64
+	// Speedup is N.Cost / B.Cost (the 2b metric).
+	Speedup float64
+}
+
+// PairLadders applies the paper's procedure: accuracies are ordered
+// ascending; for every N entry, the cheapest B entry with accuracy >= the N
+// accuracy is selected. N entries that no B entry can match are skipped
+// (reported with a zero B label by MatchReport if needed).
+func PairLadders(ns, bs []LadderEntry) []Pairing {
+	var out []Pairing
+	for _, n := range ns {
+		best := -1
+		for i, b := range bs {
+			if b.Accuracy >= n.Accuracy && (best == -1 || b.Cost < bs[best].Cost) {
+				best = i
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		b := bs[best]
+		p := Pairing{N: n, B: b, Saved: n.Cost - b.Cost}
+		if n.Cost > 0 {
+			p.SavedPct = float64(p.Saved) / float64(n.Cost)
+		}
+		if b.Cost > 0 {
+			p.Speedup = float64(n.Cost) / float64(b.Cost)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// AverageSavedPct is the mean core saving over pairings with positive
+// savings potential (the paper reports 49.5% for 1 spf).
+func AverageSavedPct(ps []Pairing) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range ps {
+		total += p.SavedPct
+	}
+	return total / float64(len(ps))
+}
+
+// MaxSavedPct returns the largest single saving (paper: 68.8%).
+func MaxSavedPct(ps []Pairing) float64 {
+	best := 0.0
+	for _, p := range ps {
+		if p.SavedPct > best {
+			best = p.SavedPct
+		}
+	}
+	return best
+}
+
+// MaxSpeedup returns the largest N/B cost ratio (paper: 6.5x).
+func MaxSpeedup(ps []Pairing) float64 {
+	best := 0.0
+	for _, p := range ps {
+		if p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	return best
+}
+
+// BuildLadder converts a family label, a per-unit cost, and a slice of
+// accuracies (index i = i+1 units) into ladder entries.
+func BuildLadder(family string, costPerUnit int, accs []float64) []LadderEntry {
+	out := make([]LadderEntry, len(accs))
+	for i, a := range accs {
+		out[i] = LadderEntry{
+			Label:    fmt.Sprintf("%s%d", family, i+1),
+			Units:    i + 1,
+			Cost:     (i + 1) * costPerUnit,
+			Accuracy: a,
+		}
+	}
+	return out
+}

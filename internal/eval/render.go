@@ -1,0 +1,255 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/deploy"
+)
+
+// pct formats a fraction as a percentage with two decimals.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// RenderTable1 formats the dataset table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Test datasets (synthetic substitutes; see DESIGN.md)\n")
+	fmt.Fprintf(&b, "%-28s %-30s %9s %9s %9s %8s\n", "Dataset", "Description", "Train", "Test", "Features", "Classes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-30s %9d %9d %9d %8d\n", r.Dataset, r.Description, r.TrainSize, r.TestSize, r.Features, r.Classes)
+	}
+	return b.String()
+}
+
+// RenderSection31 formats the motivating deployment-gap numbers.
+func RenderSection31(s *Section31Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 3.1: Tea-learning deployment gap (test bench 1)\n")
+	fmt.Fprintf(&b, "  float (\"Caffe\") accuracy:          %s   (paper: 95.27%%)\n", pct(s.FloatAcc))
+	fmt.Fprintf(&b, "  deployed, 1 copy (%2d cores):       %s   (paper: 90.04%%)\n", s.Cores1, pct(s.Deployed1Acc))
+	fmt.Fprintf(&b, "  deployed, 16 copies (%2d cores):    %s   (paper: 94.63%%)\n", s.Cores16, pct(s.Deployed16Acc))
+	return b.String()
+}
+
+// RenderL1Sparsity formats the section 3.3 side experiment.
+func RenderL1Sparsity(s *L1SparsityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 3.3: L1 sparsity on 784-300-100-10 (paper: 88.47/83.23/29.6%% zeros, 97.65->96.87%%)\n")
+	fmt.Fprintf(&b, "  accuracy: base %s, L1 %s, L1+pruned %s\n", pct(s.BaseAcc), pct(s.L1Acc), pct(s.PrunedAcc))
+	for l := range s.ZeroFractions {
+		fmt.Fprintf(&b, "  layer %d zeros: L1 %s (base %s)\n", l+1, pct(s.ZeroFractions[l]), pct(s.BaseZeros[l]))
+	}
+	return b.String()
+}
+
+// RenderFig5 formats the probability histograms as ASCII bar charts.
+func RenderFig5(f *Fig5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: connection-probability histograms (bench 1)\n")
+	for i, pen := range f.Penalties {
+		fmt.Fprintf(&b, "\n(%c) penalty=%s  float=%s deployed(1copy,1spf)=%s  meanVar=%.4f polar=%s\n",
+			'a'+i, pen, pct(f.FloatAcc[i]), pct(f.DeployedAcc[i]), f.MeanVariance[i], pct(f.PolarFrac[i]))
+		maxMass := 0.0
+		for _, v := range f.Hist[i] {
+			if v > maxMass {
+				maxMass = v
+			}
+		}
+		for bin, v := range f.Hist[i] {
+			bar := ""
+			if maxMass > 0 {
+				bar = strings.Repeat("#", int(v/maxMass*50))
+			}
+			fmt.Fprintf(&b, "  [%.2f,%.2f) %6.2f%% %s\n", float64(bin)/20, float64(bin+1)/20, v*100, bar)
+		}
+	}
+	return b.String()
+}
+
+// RenderFig4 formats the deviation statistics.
+func RenderFig4(f *Fig4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: synaptic weight deviation of one deployed core (bench 1)\n")
+	fmt.Fprintf(&b, "  Tea (none):  zero %s, >50%% %s, mean %.4f   (paper: 24.01%% over 50%%)\n",
+		pct(f.Tea.ZeroFrac), pct(f.Tea.OverHalfFrac), f.Tea.Mean)
+	fmt.Fprintf(&b, "  biased:      zero %s, >50%% %s, mean %.4f   (paper: 98.45%% zero, <0.02%% over 50%%)\n",
+		pct(f.Biased.ZeroFrac), pct(f.Biased.OverHalfFrac), f.Biased.Mean)
+	for _, p := range f.PGMPaths {
+		fmt.Fprintf(&b, "  wrote %s\n", p)
+	}
+	return b.String()
+}
+
+// renderSurface prints one accuracy surface.
+func renderSurface(name string, s *deploy.SurfaceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (rows = copies 1..%d, cols = spf 1..%d)\n", name, s.MaxCopies, s.MaxSPF)
+	fmt.Fprintf(&b, "%8s", "copies")
+	for spf := 1; spf <= s.MaxSPF; spf++ {
+		fmt.Fprintf(&b, "  spf=%-4d", spf)
+	}
+	fmt.Fprintln(&b)
+	for c := 0; c < s.MaxCopies; c++ {
+		fmt.Fprintf(&b, "%8d", c+1)
+		for spf := 0; spf < s.MaxSPF; spf++ {
+			fmt.Fprintf(&b, "  %7.4f", s.Mean[c][spf])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderFig7 formats both surfaces and the Figure 8 boost map.
+func RenderFig7(f *Fig7Result) string {
+	var b strings.Builder
+	b.WriteString(renderSurface("Figure 7 (red surface): Tea learning accuracy", f.Tea))
+	b.WriteString("\n")
+	b.WriteString(renderSurface("Figure 7 (yellow surface): probability-biased accuracy", f.Biased))
+	b.WriteString("\nFigure 8: accuracy boost (biased - Tea)\n")
+	boost := f.Boost()
+	for c := range boost {
+		fmt.Fprintf(&b, "%8d", c+1)
+		for s := range boost[c] {
+			fmt.Fprintf(&b, "  %+7.4f", boost[c][s])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// renderLadder prints one Table 2 ladder sorted by accuracy.
+func renderLadder(entries []LadderEntry, costName string) string {
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "  %-4s %s=%-4d acc=%.4f\n", e.Label, costName, e.Cost, e.Accuracy)
+	}
+	return b.String()
+}
+
+// RenderTable2a formats the core-occupation comparison.
+func RenderTable2a(t *Table2aResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2(a): core occupation efficiency at 1 spf\n")
+	fmt.Fprintf(&b, "Tea ladder (N# = copies):\n%s", renderLadder(t.N, "cores"))
+	fmt.Fprintf(&b, "Biased ladder (B# = copies):\n%s", renderLadder(t.B, "cores"))
+	fmt.Fprintf(&b, "Pairings (paper procedure, biased toward Tea):\n")
+	for _, p := range t.Pairings {
+		fmt.Fprintf(&b, "  %-4s (%.4f, %3d cores) -> %-4s (%.4f, %3d cores): saved %d (%s)\n",
+			p.N.Label, p.N.Accuracy, p.N.Cost, p.B.Label, p.B.Accuracy, p.B.Cost, p.Saved, pct(p.SavedPct))
+	}
+	fmt.Fprintf(&b, "Average saved: %s (paper: 49.5%%)   Max saved: %s (paper: 68.8%%)\n",
+		pct(t.AvgSaved), pct(t.MaxSaved))
+	return b.String()
+}
+
+// RenderTable2b formats the performance comparison.
+func RenderTable2b(t *Table2bResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2(b): performance efficiency at 1 network copy\n")
+	fmt.Fprintf(&b, "Tea ladder (N# = spf):\n%s", renderLadder(t.N, "spf"))
+	fmt.Fprintf(&b, "Biased ladder (B# = spf):\n%s", renderLadder(t.B, "spf"))
+	fmt.Fprintf(&b, "Pairings:\n")
+	for _, p := range t.Pairings {
+		fmt.Fprintf(&b, "  %-4s (%.4f, spf %2d) -> %-4s (%.4f, spf %2d): speedup %.2fx\n",
+			p.N.Label, p.N.Accuracy, p.N.Cost, p.B.Label, p.B.Accuracy, p.B.Cost, p.Speedup)
+	}
+	fmt.Fprintf(&b, "Max speedup: %.2fx (paper: 6.5x)\n", t.MaxSpeedup)
+	return b.String()
+}
+
+// RenderFig9a formats core savings vs spf.
+func RenderFig9a(f *Fig9aResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9(a): average core saving vs spf (bench 1)\n")
+	for i := range f.SPF {
+		fmt.Fprintf(&b, "  spf=%d: %s\n", f.SPF[i], pct(f.AvgSaved[i]))
+	}
+	return b.String()
+}
+
+// RenderFig9b formats core savings per bench.
+func RenderFig9b(f *Fig9bResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9(b): average core saving per test bench at 1 spf\n")
+	for i := range f.BenchIDs {
+		fmt.Fprintf(&b, "  bench %d: saved %s (float none %s, biased %s)\n",
+			f.BenchIDs[i], pct(f.AvgSaved[i]), pct(f.FloatN[i]), pct(f.FloatB[i]))
+	}
+	return b.String()
+}
+
+// RenderTable3 formats the bench table.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Test benches\n")
+	fmt.Fprintf(&b, "%5s %-8s %6s %7s %-10s %6s %11s %11s %11s\n",
+		"Bench", "Dataset", "Stride", "Hidden", "Cores/layer", "Total", "Paper-float", "Float-none", "Float-bias")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5d %-8s %6d %7d %-10s %6d %10.2f%% %10.2f%% %10.2f%%\n",
+			r.Bench, r.Dataset, r.Stride, r.HiddenNum, r.CoresPer, r.TotalCores,
+			r.PaperFloat*100, r.FloatNone*100, r.FloatBias*100)
+	}
+	return b.String()
+}
+
+// RenderAblation formats an ablation sweep.
+func RenderAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (ours; not in the paper)\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-22s float=%s deployed=%s", r.Name, pct(r.FloatAcc), pct(r.Deployed))
+		if r.Polar > 0 {
+			fmt.Fprintf(&b, " polar=%s", pct(r.Polar))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderMapping formats the mapping ablation.
+func RenderMapping(m *MappingReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mapping ablation (ours): paper's signed-synapse model vs physical dual-axon lowering\n")
+	fmt.Fprintf(&b, "  signed:    hardware-valid=%v axons/core=%d\n", m.SignedHardwareValid, m.SignedAxonsPerCore)
+	fmt.Fprintf(&b, "  dual-axon: hardware-valid=%v axons/core=%d\n", m.DualHardwareValid, m.DualAxonsPerCore)
+	fmt.Fprintf(&b, "  spike counts agree: %v\n", m.CountsAgree)
+	return b.String()
+}
+
+// WriteSurfaceCSV dumps a surface as CSV (rows copies, cols spf).
+func WriteSurfaceCSV(dir, name string, s *deploy.SurfaceResult) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("eval: csv dir: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("eval: csv: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"copies"}
+	for spf := 1; spf <= s.MaxSPF; spf++ {
+		header = append(header, fmt.Sprintf("spf%d", spf))
+	}
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+	for c := 0; c < s.MaxCopies; c++ {
+		row := []string{fmt.Sprintf("%d", c+1)}
+		for spf := 0; spf < s.MaxSPF; spf++ {
+			row = append(row, fmt.Sprintf("%.6f", s.Mean[c][spf]))
+		}
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Window describes how one hidden core layer reads the core grid of the
+// previous layer: each new core covers a Size x Size window of previous cores,
+// windows advancing by Stride. This is the inter-layer routing scheme chosen
+// for the deep test benches (DESIGN.md section 5.1); the paper specifies only
+// the resulting core counts (Table 3: 49~9~4 and 16~9).
+type Window struct {
+	Size, Stride int
+}
+
+// Arch describes a block-structured TrueNorth network (Figure 3 generalized
+// to the five test benches of Table 3).
+type Arch struct {
+	Name string
+	// InputH and InputW give the 2-D feature grid (28x28 digits, 19x19
+	// reshaped protein windows).
+	InputH, InputW int
+	// Block and Stride tile the input into first-layer cores (Table 3).
+	Block, Stride int
+	// CoreSize is the axon/neuron capacity of a neuro-synaptic core (256).
+	CoreSize int
+	// Windows lists the hidden layers after the first, as spatial windows
+	// over the previous layer's core grid.
+	Windows []Window
+	// Classes is the readout width.
+	Classes int
+	// Tau is the readout softmax temperature.
+	Tau float64
+	// InitScale is the half-width of the uniform weight initialization.
+	InitScale float64
+}
+
+// Validate checks that the architecture is realizable.
+func (a *Arch) Validate() error {
+	if a.InputH <= 0 || a.InputW <= 0 || a.Block <= 0 || a.Stride <= 0 {
+		return fmt.Errorf("arch %q: non-positive geometry", a.Name)
+	}
+	if a.Block > a.InputH || a.Block > a.InputW {
+		return fmt.Errorf("arch %q: block %d larger than input %dx%d", a.Name, a.Block, a.InputH, a.InputW)
+	}
+	if a.Block*a.Block > a.CoreSize {
+		return fmt.Errorf("arch %q: block %dx%d exceeds %d axons", a.Name, a.Block, a.Block, a.CoreSize)
+	}
+	if a.Classes <= 0 {
+		return fmt.Errorf("arch %q: no classes", a.Name)
+	}
+	gr, gc := dataset.BlockSpec{Height: a.InputH, Width: a.InputW, Block: a.Block, Stride: a.Stride}.GridDims()
+	for wi, w := range a.Windows {
+		if w.Size <= 0 || w.Stride <= 0 {
+			return fmt.Errorf("arch %q: window %d non-positive", a.Name, wi)
+		}
+		if w.Size > gr || w.Size > gc {
+			return fmt.Errorf("arch %q: window %d size %d exceeds grid %dx%d", a.Name, wi, w.Size, gr, gc)
+		}
+		gr = (gr-w.Size)/w.Stride + 1
+		gc = (gc-w.Size)/w.Stride + 1
+	}
+	return nil
+}
+
+// CoreGrid returns the per-layer core grid dimensions.
+func (a *Arch) CoreGrid() [][2]int {
+	spec := dataset.BlockSpec{Height: a.InputH, Width: a.InputW, Block: a.Block, Stride: a.Stride}
+	gr, gc := spec.GridDims()
+	out := [][2]int{{gr, gc}}
+	for _, w := range a.Windows {
+		gr = (gr-w.Size)/w.Stride + 1
+		gc = (gc-w.Size)/w.Stride + 1
+		out = append(out, [2]int{gr, gc})
+	}
+	return out
+}
+
+// CoresPerLayer returns the Table 3 "cores per layer" column.
+func (a *Arch) CoresPerLayer() []int {
+	grids := a.CoreGrid()
+	out := make([]int, len(grids))
+	for i, g := range grids {
+		out[i] = g[0] * g[1]
+	}
+	return out
+}
+
+// TotalCores returns the cores occupied by one network copy.
+func (a *Arch) TotalCores() int {
+	total := 0
+	for _, c := range a.CoresPerLayer() {
+		total += c
+	}
+	return total
+}
+
+// Build constructs the network with randomly initialized weights. Weight
+// initialization is uniform in [-InitScale, InitScale]; biases start at zero.
+func (a *Arch) Build(src *rng.PCG32, cmax float64) (*Network, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	net := &Network{CMax: cmax, SigmaFloor: 1e-3}
+	grids := a.CoreGrid()
+
+	// Exports per layer: sized so the next layer's window fills <= CoreSize
+	// axons; the final layer exports every neuron to the readout.
+	exports := make([]int, len(grids))
+	for li := range grids {
+		if li == len(grids)-1 {
+			exports[li] = a.CoreSize
+			continue
+		}
+		w := a.Windows[li]
+		exports[li] = a.CoreSize / (w.Size * w.Size)
+	}
+
+	// First layer: one core per input block.
+	spec := dataset.BlockSpec{Height: a.InputH, Width: a.InputW, Block: a.Block, Stride: a.Stride}
+	first := &CoreLayer{InDim: a.InputH * a.InputW}
+	for _, blk := range spec.Indices() {
+		first.Cores = append(first.Cores, a.newCore(src, blk, neuronsFor(exports[0], len(grids) == 1, a.CoreSize), exports[0]))
+	}
+	net.Layers = append(net.Layers, first)
+
+	// Hidden layers over the core grid.
+	for wi, w := range a.Windows {
+		prevGrid := grids[wi]
+		prevExports := exports[wi]
+		layer := &CoreLayer{InDim: net.Layers[wi].OutDim()}
+		rows := (prevGrid[0]-w.Size)/w.Stride + 1
+		cols := (prevGrid[1]-w.Size)/w.Stride + 1
+		last := wi == len(a.Windows)-1
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				var in []int
+				for dr := 0; dr < w.Size; dr++ {
+					for dc := 0; dc < w.Size; dc++ {
+						pr, pc := r*w.Stride+dr, c*w.Stride+dc
+						base := (pr*prevGrid[1] + pc) * prevExports
+						for e := 0; e < prevExports; e++ {
+							in = append(in, base+e)
+						}
+					}
+				}
+				layer.Cores = append(layer.Cores, a.newCore(src, in, neuronsFor(exports[wi+1], last, a.CoreSize), exports[wi+1]))
+			}
+		}
+		net.Layers = append(net.Layers, layer)
+	}
+
+	tau := a.Tau
+	if tau == 0 {
+		tau = 12
+	}
+	net.Readout = NewMergeReadout(net.Layers[len(net.Layers)-1].OutDim(), a.Classes, tau)
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("arch %q: built invalid network: %w", a.Name, err)
+	}
+	return net, nil
+}
+
+// neuronsFor sizes a core's neuron array: the final layer uses the full core
+// (every neuron merges into the readout); hidden layers instantiate only the
+// exported neurons, since unrouted neurons can never receive gradient.
+func neuronsFor(exports int, lastLayer bool, coreSize int) int {
+	if lastLayer {
+		return coreSize
+	}
+	return exports
+}
+
+func (a *Arch) newCore(src *rng.PCG32, in []int, neurons, exports int) *CoreSpec {
+	scale := a.InitScale
+	if scale == 0 {
+		scale = 0.5
+	}
+	c := &CoreSpec{
+		In:      append([]int(nil), in...),
+		W:       newUniformMatrix(src, neurons, len(in), scale),
+		Bias:    make([]float64, neurons),
+		Exports: exports,
+	}
+	return c
+}
+
+func newUniformMatrix(src *rng.PCG32, rows, cols int, scale float64) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64(src)*2 - 1) * scale
+	}
+	return m
+}

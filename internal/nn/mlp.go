@@ -1,0 +1,258 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MLP is a conventional dense feed-forward network with ReLU hidden units and
+// a softmax output. It exists to reproduce the paper's section 3.3 side
+// experiment: the 784-300-100-10 network of LeCun et al. [16] trained with an
+// L1 penalty, demonstrating that L1 zeroes out most weights (88.47% / 83.23% /
+// 29.6% per layer) at a small accuracy cost — while NOT reducing synaptic
+// variance, which motivates the biased penalty.
+type MLP struct {
+	// W[l] is the weight matrix of layer l (out x in); B[l] the bias.
+	W []*tensor.Matrix
+	B [][]float64
+}
+
+// NewMLP builds an MLP with the given layer widths (e.g. 784,300,100,10),
+// He-style uniform initialization.
+func NewMLP(src *rng.PCG32, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for l := 0; l+1 < len(sizes); l++ {
+		scale := math.Sqrt(6.0 / float64(sizes[l]))
+		m.W = append(m.W, newUniformMatrix(src, sizes[l+1], sizes[l], scale))
+		m.B = append(m.B, make([]float64, sizes[l+1]))
+	}
+	return m
+}
+
+// Layers returns the number of weight layers.
+func (m *MLP) Layers() int { return len(m.W) }
+
+// forward computes activations; acts[0] is the input, acts[L] the logits.
+func (m *MLP) forward(acts [][]float64, x []float64) {
+	copy(acts[0], x)
+	for l, w := range m.W {
+		tensor.MatVec(acts[l+1], w, acts[l])
+		tensor.Axpy(acts[l+1], 1, m.B[l])
+		if l+1 < len(acts)-1 { // hidden: ReLU
+			for i, v := range acts[l+1] {
+				if v < 0 {
+					acts[l+1][i] = 0
+				}
+			}
+		}
+	}
+}
+
+func (m *MLP) newActs() [][]float64 {
+	acts := make([][]float64, len(m.W)+1)
+	acts[0] = make([]float64, m.W[0].Cols)
+	for l, w := range m.W {
+		acts[l+1] = make([]float64, w.Rows)
+	}
+	return acts
+}
+
+// Predict returns the logits for x.
+func (m *MLP) Predict(x []float64) []float64 {
+	acts := m.newActs()
+	m.forward(acts, x)
+	return acts[len(acts)-1]
+}
+
+// MLPTrainConfig configures TrainMLP.
+type MLPTrainConfig struct {
+	Epochs   int
+	Batch    int
+	LR       float64
+	Momentum float64
+	LRDecay  float64
+	Lambda   float64 // L1 coefficient
+	Seed     uint64
+	Workers  int
+}
+
+// TrainMLP runs minibatch SGD with momentum and optional L1 penalty.
+func TrainMLP(m *MLP, train *dataset.Dataset, cfg MLPTrainConfig) error {
+	if train.Len() == 0 {
+		return fmt.Errorf("nn: TrainMLP: empty dataset")
+	}
+	if train.FeatDim != m.W[0].Cols {
+		return fmt.Errorf("nn: TrainMLP: %d features vs %d inputs", train.FeatDim, m.W[0].Cols)
+	}
+	nw := cfg.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	type worker struct {
+		acts, deltas [][]float64
+		gW           []*tensor.Matrix
+		gB           [][]float64
+		probs        []float64
+	}
+	mk := func() *worker {
+		wk := &worker{acts: m.newActs()}
+		wk.deltas = make([][]float64, len(m.W)+1)
+		for l := range wk.acts {
+			wk.deltas[l] = make([]float64, len(wk.acts[l]))
+		}
+		for _, w := range m.W {
+			wk.gW = append(wk.gW, tensor.New(w.Rows, w.Cols))
+			wk.gB = append(wk.gB, make([]float64, w.Rows))
+		}
+		wk.probs = make([]float64, m.W[len(m.W)-1].Rows)
+		return wk
+	}
+	workers := make([]*worker, nw)
+	for i := range workers {
+		workers[i] = mk()
+	}
+	velW := make([]*tensor.Matrix, len(m.W))
+	velB := make([][]float64, len(m.W))
+	for l, w := range m.W {
+		velW[l] = tensor.New(w.Rows, w.Cols)
+		velB[l] = make([]float64, w.Rows)
+	}
+
+	src := rng.NewPCG32(cfg.Seed, 88)
+	lr := cfg.LR
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, batch := range dataset.Batches(src, train.Len(), cfg.Batch, true) {
+			var wg sync.WaitGroup
+			chunk := (len(batch) + nw - 1) / nw
+			active := 0
+			for w := 0; w < nw; w++ {
+				lo := w * chunk
+				if lo >= len(batch) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(batch) {
+					hi = len(batch)
+				}
+				active++
+				wg.Add(1)
+				go func(wk *worker, idx []int) {
+					defer wg.Done()
+					for l := range wk.gW {
+						wk.gW[l].Zero()
+						for i := range wk.gB[l] {
+							wk.gB[l][i] = 0
+						}
+					}
+					for _, si := range idx {
+						m.backpropOne(wk.acts, wk.deltas, wk.probs, wk.gW, wk.gB, train.X[si], train.Y[si])
+					}
+				}(workers[w], batch[lo:hi])
+			}
+			wg.Wait()
+			for w := 1; w < active; w++ {
+				for l := range m.W {
+					for i := range workers[0].gW[l].Data {
+						workers[0].gW[l].Data[i] += workers[w].gW[l].Data[i]
+					}
+					for i := range workers[0].gB[l] {
+						workers[0].gB[l][i] += workers[w].gB[l][i]
+					}
+				}
+			}
+			inv := 1 / float64(len(batch))
+			for l := range m.W {
+				for i := range m.W[l].Data {
+					w := m.W[l].Data[i]
+					grad := workers[0].gW[l].Data[i]*inv + cfg.Lambda*sign(w)
+					velW[l].Data[i] = cfg.Momentum*velW[l].Data[i] - lr*grad
+					m.W[l].Data[i] = w + velW[l].Data[i]
+				}
+				for i := range m.B[l] {
+					velB[l][i] = cfg.Momentum*velB[l][i] - lr*workers[0].gB[l][i]*inv
+					m.B[l][i] += velB[l][i]
+				}
+			}
+		}
+		if cfg.LRDecay > 0 {
+			lr *= cfg.LRDecay
+		}
+	}
+	return nil
+}
+
+// backpropOne accumulates gradients for one (x, y) pair.
+func (m *MLP) backpropOne(acts, deltas [][]float64, probs []float64, gW []*tensor.Matrix, gB [][]float64, x []float64, y int) {
+	m.forward(acts, x)
+	L := len(m.W)
+	logits := acts[L]
+	tensor.Softmax(probs, logits)
+	for i := range deltas[L] {
+		deltas[L][i] = probs[i]
+	}
+	deltas[L][y] -= 1
+	for l := L - 1; l >= 0; l-- {
+		tensor.OuterAcc(gW[l], 1, deltas[l+1], acts[l])
+		tensor.Axpy(gB[l], 1, deltas[l+1])
+		if l > 0 {
+			tensor.MatTVec(deltas[l], m.W[l], deltas[l+1])
+			for i, a := range acts[l] {
+				if a <= 0 { // ReLU derivative
+					deltas[l][i] = 0
+				}
+			}
+		}
+	}
+}
+
+// EvaluateMLP returns classification accuracy on d.
+func EvaluateMLP(m *MLP, d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	acts := m.newActs()
+	correct := 0
+	for i := range d.X {
+		m.forward(acts, d.X[i])
+		if tensor.ArgMax(acts[len(acts)-1]) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// ZeroFractions returns, per layer, the fraction of weights whose magnitude
+// falls below threshold — the paper's "weights that can be zeroed out".
+func (m *MLP) ZeroFractions(threshold float64) []float64 {
+	out := make([]float64, len(m.W))
+	for l, w := range m.W {
+		zero := 0
+		for _, v := range w.Data {
+			if math.Abs(v) < threshold {
+				zero++
+			}
+		}
+		out[l] = float64(zero) / float64(len(w.Data))
+	}
+	return out
+}
+
+// PruneBelow zeroes all weights with magnitude below threshold.
+func (m *MLP) PruneBelow(threshold float64) {
+	for _, w := range m.W {
+		for i, v := range w.Data {
+			if math.Abs(v) < threshold {
+				w.Data[i] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package nn implements the floating-point training framework of the
+// reproduction — the stand-in for the paper's Caffe setup.
+//
+// The central abstraction is the CoreLayer: a layer whose connectivity is
+// partitioned into neuro-synaptic cores (Figure 1 of the paper). During
+// training each connection carries a real weight w with |w| <= CMax; on
+// TrueNorth the connection becomes a Bernoulli synapse with probability
+// p = |w|/CMax and integer weight c = sign(w)*CMax, so that E{w'} = w
+// (Eqs. 6-7). The layer's forward pass therefore computes, per neuron,
+//
+//	mu     = sum_i w_i x_i + b                        (Eq. 9)
+//	sigma2 = sum_i CMax*|w_i|*x_i*(1 - |w_i|*x_i/CMax) (Eq. 14-15)
+//	a      = P(y' >= 0) = Phi(mu/sigma)               (Eq. 11)
+//
+// which is exactly the Tea-learning activation: the probability that the
+// deployed stochastic neuron spikes. Backpropagation differentiates through
+// both the mean and the variance paths (the variance path can be frozen with
+// SigmaConst for ablation).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CoreSpec describes one neuro-synaptic core inside a CoreLayer.
+type CoreSpec struct {
+	// In lists the indices of the layer input vector wired to this core's
+	// axons, in axon order.
+	In []int
+	// W is the Neurons x len(In) weight matrix (real-valued during training).
+	W *tensor.Matrix
+	// Bias is the per-neuron bias, deployed on the neuron's leak register.
+	Bias []float64
+	// Exports is how many of the leading neurons are routed to the next layer
+	// (or to the class readout for the final layer).
+	Exports int
+}
+
+// Neurons returns the number of neurons configured on the core.
+func (c *CoreSpec) Neurons() int { return c.W.Rows }
+
+// Axons returns the number of axons in use on the core.
+func (c *CoreSpec) Axons() int { return len(c.In) }
+
+// CoreLayer is a set of cores reading from a shared input vector. The layer
+// output is the concatenation of every core's exported neuron activations.
+type CoreLayer struct {
+	Cores []*CoreSpec
+	// InDim is the expected input vector length.
+	InDim int
+}
+
+// OutDim returns the concatenated export width of the layer.
+func (l *CoreLayer) OutDim() int {
+	n := 0
+	for _, c := range l.Cores {
+		n += c.Exports
+	}
+	return n
+}
+
+// Validate checks structural consistency.
+func (l *CoreLayer) Validate() error {
+	for ci, c := range l.Cores {
+		if c.W.Cols != len(c.In) {
+			return fmt.Errorf("core %d: %d weight columns vs %d inputs", ci, c.W.Cols, len(c.In))
+		}
+		if len(c.Bias) != c.Neurons() {
+			return fmt.Errorf("core %d: %d biases vs %d neurons", ci, len(c.Bias), c.Neurons())
+		}
+		if c.Exports < 0 || c.Exports > c.Neurons() {
+			return fmt.Errorf("core %d: exports %d outside [0,%d]", ci, c.Exports, c.Neurons())
+		}
+		for _, i := range c.In {
+			if i < 0 || i >= l.InDim {
+				return fmt.Errorf("core %d: input index %d outside [0,%d)", ci, i, l.InDim)
+			}
+		}
+	}
+	return nil
+}
+
+// Network is a stack of core layers with a class readout.
+type Network struct {
+	Layers  []*CoreLayer
+	Readout *MergeReadout
+	// CMax is the integer synaptic weight magnitude used at deployment;
+	// training weights live in [-CMax, CMax].
+	CMax float64
+	// SigmaFloor is added (squared) to every neuron variance to keep the
+	// activation differentiable when all synapse probabilities saturate.
+	SigmaFloor float64
+	// SigmaConst freezes the variance path during backprop (ablation).
+	SigmaConst bool
+	// MuOffset is added to the mean before the erf activation:
+	// a = Phi((mu + MuOffset)/sigma). The deployed membrane sum is an integer
+	// compared with >= 0, so the exact normal approximation carries a +0.5
+	// continuity correction that the paper's Eq. (11) omits. Training with
+	// MuOffset = 0.5 aligns the float model with the deployed statistics;
+	// the default 0 reproduces the paper. Measured in the ablation bench.
+	MuOffset float64
+}
+
+// Validate checks the network wiring end to end.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("network has no layers")
+	}
+	if n.CMax <= 0 {
+		return fmt.Errorf("CMax must be positive, got %v", n.CMax)
+	}
+	for li, l := range n.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("layer %d: %w", li, err)
+		}
+		if li > 0 && n.Layers[li-1].OutDim() != l.InDim {
+			return fmt.Errorf("layer %d: input dim %d vs previous output %d", li, l.InDim, n.Layers[li-1].OutDim())
+		}
+	}
+	last := n.Layers[len(n.Layers)-1]
+	if n.Readout != nil && n.Readout.InDim != last.OutDim() {
+		return fmt.Errorf("readout: input dim %d vs final layer output %d", n.Readout.InDim, last.OutDim())
+	}
+	return nil
+}
+
+// NumCores returns the total neuro-synaptic cores occupied by one copy of the
+// network — the paper's core-occupation unit.
+func (n *Network) NumCores() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += len(l.Cores)
+	}
+	return total
+}
+
+// NumWeights returns the total trainable connection count.
+func (n *Network) NumWeights() int {
+	total := 0
+	for _, l := range n.Layers {
+		for _, c := range l.Cores {
+			total += c.W.Rows * c.W.Cols
+		}
+	}
+	return total
+}
+
+// Weights returns a flat snapshot of all connection weights, layer by layer,
+// core by core, row-major. Used for penalty histograms (Figure 5).
+func (n *Network) Weights() []float64 {
+	out := make([]float64, 0, n.NumWeights())
+	for _, l := range n.Layers {
+		for _, c := range l.Cores {
+			for r := 0; r < c.W.Rows; r++ {
+				out = append(out, c.W.Row(r)...)
+			}
+		}
+	}
+	return out
+}
+
+// Probabilities returns the synaptic connection probabilities |w|/CMax for
+// every connection — the quantity the biasing penalty drives to {0,1}.
+func (n *Network) Probabilities() []float64 {
+	w := n.Weights()
+	for i, v := range w {
+		w[i] = math.Abs(v) / n.CMax
+	}
+	return w
+}
+
+// scratch holds per-goroutine forward/backward workspaces.
+type scratch struct {
+	// acts[0] is the input; acts[l+1] the output of layer l.
+	acts [][]float64
+	// mu, sigma hold per-layer pre-activation statistics, indexed like the
+	// layer outputs but over every neuron (not just exports).
+	mu, sigma [][]float64
+	// full[l] is layer l's activation over every neuron.
+	full [][]float64
+	// grad buffers for the backward pass.
+	dAct  [][]float64
+	dFull [][]float64
+	// scores and probs for the readout.
+	scores, probs []float64
+}
+
+func (n *Network) newScratch() *scratch {
+	s := &scratch{}
+	s.acts = make([][]float64, len(n.Layers)+1)
+	s.acts[0] = make([]float64, n.Layers[0].InDim)
+	s.mu = make([][]float64, len(n.Layers))
+	s.sigma = make([][]float64, len(n.Layers))
+	s.full = make([][]float64, len(n.Layers))
+	s.dAct = make([][]float64, len(n.Layers)+1)
+	s.dAct[0] = make([]float64, n.Layers[0].InDim)
+	s.dFull = make([][]float64, len(n.Layers))
+	for li, l := range n.Layers {
+		total := 0
+		for _, c := range l.Cores {
+			total += c.Neurons()
+		}
+		s.mu[li] = make([]float64, total)
+		s.sigma[li] = make([]float64, total)
+		s.full[li] = make([]float64, total)
+		s.dFull[li] = make([]float64, total)
+		s.acts[li+1] = make([]float64, l.OutDim())
+		s.dAct[li+1] = make([]float64, l.OutDim())
+	}
+	if n.Readout != nil {
+		s.scores = make([]float64, n.Readout.Classes)
+		s.probs = make([]float64, n.Readout.Classes)
+	}
+	return s
+}
+
+// forward computes all layer activations for input x into s and returns the
+// final layer's exported activation vector.
+func (n *Network) forward(s *scratch, x []float64) []float64 {
+	copy(s.acts[0], x)
+	for li, l := range n.Layers {
+		in := s.acts[li]
+		out := s.acts[li+1]
+		mu, sigma, full := s.mu[li], s.sigma[li], s.full[li]
+		base, outBase := 0, 0
+		for _, c := range l.Cores {
+			n.forwardCore(c, in, mu[base:base+c.Neurons()], sigma[base:base+c.Neurons()], full[base:base+c.Neurons()])
+			copy(out[outBase:outBase+c.Exports], full[base:base+c.Exports])
+			base += c.Neurons()
+			outBase += c.Exports
+		}
+	}
+	return s.acts[len(n.Layers)]
+}
+
+// forwardCore evaluates Eq. (9), (14) and (11) for one core.
+func (n *Network) forwardCore(c *CoreSpec, in []float64, mu, sigma, act []float64) {
+	cmax := n.CMax
+	floor2 := n.SigmaFloor * n.SigmaFloor
+	for j := 0; j < c.Neurons(); j++ {
+		row := c.W.Row(j)
+		m := c.Bias[j]
+		v := floor2
+		for i, idx := range c.In {
+			w := row[i]
+			x := in[idx]
+			if x == 0 || w == 0 {
+				continue
+			}
+			m += w * x
+			aw := math.Abs(w)
+			v += aw * x * (cmax - aw*x) // CMax*|w|/CMax * x * (CMax - |w|x) / CMax... see note below
+		}
+		// Variance derivation: var{w'x'} = c^2 p x (1-px) with c = sign(w)*CMax
+		// and p = |w|/CMax, which simplifies to |w|*x*(CMax - |w|*x).
+		m += n.MuOffset
+		mu[j] = m
+		sg := math.Sqrt(v)
+		sigma[j] = sg
+		act[j] = tensor.SpikeProb(m, sg)
+	}
+}
+
+// Predict returns the class scores for input x using expectation (Tea) math.
+// It allocates a scratch; for bulk evaluation use Evaluator.
+func (n *Network) Predict(x []float64) []float64 {
+	s := n.newScratch()
+	out := n.forward(s, x)
+	n.Readout.Scores(s.scores, out)
+	return append([]float64(nil), s.scores...)
+}
+
+// coreGrads holds the gradient buffers for one core.
+type coreGrads struct {
+	W    *tensor.Matrix
+	Bias []float64
+}
+
+// netGrads mirrors the network weight structure.
+type netGrads struct {
+	layers [][]coreGrads
+}
+
+func (n *Network) newGrads() *netGrads {
+	g := &netGrads{layers: make([][]coreGrads, len(n.Layers))}
+	for li, l := range n.Layers {
+		g.layers[li] = make([]coreGrads, len(l.Cores))
+		for ci, c := range l.Cores {
+			g.layers[li][ci] = coreGrads{W: tensor.New(c.W.Rows, c.W.Cols), Bias: make([]float64, c.Neurons())}
+		}
+	}
+	return g
+}
+
+func (g *netGrads) zero() {
+	for _, layer := range g.layers {
+		for _, c := range layer {
+			c.W.Zero()
+			for i := range c.Bias {
+				c.Bias[i] = 0
+			}
+		}
+	}
+}
+
+// add accumulates other into g.
+func (g *netGrads) add(other *netGrads) {
+	for li := range g.layers {
+		for ci := range g.layers[li] {
+			dst, src := g.layers[li][ci], other.layers[li][ci]
+			for i := range dst.W.Data {
+				dst.W.Data[i] += src.W.Data[i]
+			}
+			for i := range dst.Bias {
+				dst.Bias[i] += src.Bias[i]
+			}
+		}
+	}
+}
+
+// backward runs backprop for one sample already forwarded in s, given the
+// gradient of the loss with respect to the final exported activations
+// (s.dAct[last]). Gradients accumulate into g.
+func (n *Network) backward(s *scratch, g *netGrads) {
+	cmax := n.CMax
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		in := s.acts[li]
+		dIn := s.dAct[li]
+		for i := range dIn {
+			dIn[i] = 0
+		}
+		dOut := s.dAct[li+1]
+		mu, sigma := s.mu[li], s.sigma[li]
+		dFull := s.dFull[li]
+		// Scatter export gradients back over the per-neuron layout.
+		base, outBase := 0, 0
+		for _, c := range l.Cores {
+			nr := c.Neurons()
+			for j := 0; j < nr; j++ {
+				if j < c.Exports {
+					dFull[base+j] = dOut[outBase+j]
+				} else {
+					dFull[base+j] = 0
+				}
+			}
+			base += nr
+			outBase += c.Exports
+		}
+		base = 0
+		for ci, c := range l.Cores {
+			gc := g.layers[li][ci]
+			for j := 0; j < c.Neurons(); j++ {
+				da := dFull[base+j]
+				if da == 0 {
+					continue
+				}
+				m, sg := mu[base+j], sigma[base+j]
+				dMu, dSigma := tensor.SpikeProbGrad(m, sg)
+				gMu := da * dMu
+				var gVar float64 // dL/d(sigma^2)
+				if !n.SigmaConst && sg > 0 {
+					gVar = da * dSigma / (2 * sg)
+				}
+				gc.Bias[j] += gMu
+				row := c.W.Row(j)
+				grow := gc.W.Row(j)
+				for i, idx := range c.In {
+					x := in[idx]
+					w := row[i]
+					aw := math.Abs(w)
+					sw := sign(w)
+					// d mu / d w = x ; d var / d w = sign(w)*x*(CMax - 2|w|x)
+					grow[i] += gMu*x + gVar*sw*x*(cmax-2*aw*x)
+					// d mu / d x = w ; d var / d x = |w|*(CMax - 2|w|x)
+					if li > 0 { // input gradients only needed for deeper layers
+						dIn[idx] += gMu*w + gVar*aw*(cmax-2*aw*x)
+					}
+				}
+			}
+			base += c.Neurons()
+		}
+	}
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// ClampWeights projects every weight back into [-CMax, CMax]; called after
+// each optimizer step so probabilities stay valid.
+func (n *Network) ClampWeights() {
+	for _, l := range n.Layers {
+		for _, c := range l.Cores {
+			tensor.ClampSlice(c.W.Data, -n.CMax, n.CMax)
+		}
+	}
+}

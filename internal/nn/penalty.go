@@ -1,0 +1,102 @@
+package nn
+
+import "math"
+
+// Penalty is a per-connection weight regularizer added to the training
+// objective as Eq. (16): E^(w) = E_D(w) + lambda * E_W(w). Value and Grad
+// receive the raw weight w (in [-CMax, CMax]) and the network's CMax, since
+// the paper's penalties are defined on the connection probability p = |w|/CMax.
+type Penalty interface {
+	// Name identifies the penalty in tables ("none", "l1", "biased", ...).
+	Name() string
+	// Value returns the per-weight penalty contribution.
+	Value(w, cmax float64) float64
+	// Grad returns the per-weight subgradient dValue/dw.
+	Grad(w, cmax float64) float64
+}
+
+// NonePenalty is the paper's baseline ("N" models, Tea learning as-is).
+type NonePenalty struct{}
+
+// Name implements Penalty.
+func (NonePenalty) Name() string { return "none" }
+
+// Value implements Penalty.
+func (NonePenalty) Value(_, _ float64) float64 { return 0 }
+
+// Grad implements Penalty.
+func (NonePenalty) Grad(_, _ float64) float64 { return 0 }
+
+// L1Penalty is the classical lasso |w|, shown by the paper (section 3.3,
+// Figure 5b) to sparsify weights without reducing synaptic variance — and to
+// *hurt* deployed accuracy.
+type L1Penalty struct{}
+
+// Name implements Penalty.
+func (L1Penalty) Name() string { return "l1" }
+
+// Value implements Penalty.
+func (L1Penalty) Value(w, _ float64) float64 { return math.Abs(w) }
+
+// Grad implements Penalty.
+func (L1Penalty) Grad(w, _ float64) float64 { return sign(w) }
+
+// L2Penalty is standard weight decay, included for ablations.
+type L2Penalty struct{}
+
+// Name implements Penalty.
+func (L2Penalty) Name() string { return "l2" }
+
+// Value implements Penalty.
+func (L2Penalty) Value(w, _ float64) float64 { return 0.5 * w * w }
+
+// Grad implements Penalty.
+func (L2Penalty) Grad(w, _ float64) float64 { return w }
+
+// BiasedPenalty is the paper's contribution (Eq. 17): on the connection
+// probability p = |w|/CMax it charges | |p - A| - B |, pulling p toward the
+// two poles A-B and A+B. The special case A = B = 0.5 (the paper's choice and
+// our default) places the poles at p = 0 and p = 1, the zero-variance
+// deterministic states of Eq. (15), and charges the most at the maximum-
+// variance point p = 0.5.
+type BiasedPenalty struct {
+	// A is the centroid the probability is pushed away from.
+	A float64
+	// B is the distance from the centroid to each pole.
+	B float64
+}
+
+// NewBiasedPenalty returns the paper's default a = b = 0.5 penalty.
+func NewBiasedPenalty() BiasedPenalty { return BiasedPenalty{A: 0.5, B: 0.5} }
+
+// Name implements Penalty.
+func (BiasedPenalty) Name() string { return "biased" }
+
+// Value implements Penalty.
+func (p BiasedPenalty) Value(w, cmax float64) float64 {
+	prob := math.Abs(w) / cmax
+	return math.Abs(math.Abs(prob-p.A) - p.B)
+}
+
+// Grad implements Penalty. Chain rule through p = |w|/CMax:
+// d/dw = sign(|p-A| - B) * sign(p - A) * sign(w) / CMax.
+func (p BiasedPenalty) Grad(w, cmax float64) float64 {
+	prob := math.Abs(w) / cmax
+	return sign(math.Abs(prob-p.A)-p.B) * sign(prob-p.A) * sign(w) / cmax
+}
+
+// PenaltyByName maps table identifiers to penalties; unknown names return
+// NonePenalty and false.
+func PenaltyByName(name string) (Penalty, bool) {
+	switch name {
+	case "none", "":
+		return NonePenalty{}, true
+	case "l1":
+		return L1Penalty{}, true
+	case "l2":
+		return L2Penalty{}, true
+	case "biased":
+		return NewBiasedPenalty(), true
+	}
+	return NonePenalty{}, false
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MergeReadout implements the paper's off-chip classification: "output axons
+// from all neuro-synaptic cores being merged to 10 output classes". Every
+// exported neuron of the final layer is statically assigned to a class
+// (round-robin: neuron g belongs to class g mod Classes) and the class score
+// is the mean spike probability (training) or the mean spike count
+// (deployment) of its neurons, scaled by temperature Tau before softmax.
+type MergeReadout struct {
+	InDim   int
+	Classes int
+	// Tau is the softmax temperature applied to mean class activations. Mean
+	// activations live in [0,1], so Tau stretches them into a useful logit
+	// range during training.
+	Tau float64
+	// assign[g] = class of neuron g; counts[k] = neurons per class.
+	assign []int
+	counts []int
+}
+
+// NewMergeReadout builds a round-robin readout over inDim neurons.
+func NewMergeReadout(inDim, classes int, tau float64) *MergeReadout {
+	if classes <= 0 || inDim < classes {
+		panic(fmt.Sprintf("nn: readout needs inDim >= classes, got %d < %d", inDim, classes))
+	}
+	r := &MergeReadout{InDim: inDim, Classes: classes, Tau: tau,
+		assign: make([]int, inDim), counts: make([]int, classes)}
+	for g := 0; g < inDim; g++ {
+		k := g % classes
+		r.assign[g] = k
+		r.counts[k]++
+	}
+	return r
+}
+
+// Assignment returns the class of neuron g.
+func (r *MergeReadout) Assignment(g int) int { return r.assign[g] }
+
+// ClassCounts returns the number of neurons merged into each class.
+func (r *MergeReadout) ClassCounts() []int { return append([]int(nil), r.counts...) }
+
+// Scores fills dst with the temperature-scaled mean activation per class.
+func (r *MergeReadout) Scores(dst, act []float64) {
+	if len(act) != r.InDim || len(dst) != r.Classes {
+		panic(fmt.Sprintf("nn: readout got %d activations / %d scores, want %d / %d",
+			len(act), len(dst), r.InDim, r.Classes))
+	}
+	for k := range dst {
+		dst[k] = 0
+	}
+	for g, a := range act {
+		dst[r.assign[g]] += a
+	}
+	for k := range dst {
+		dst[k] = r.Tau * dst[k] / float64(r.counts[k])
+	}
+}
+
+// LossGrad computes softmax cross-entropy of scores against label and fills
+// dAct with dLoss/dActivation. probs is scratch of length Classes.
+func (r *MergeReadout) LossGrad(scores, probs []float64, label int, dAct []float64) float64 {
+	tensor.Softmax(probs, scores)
+	loss := -math.Log(math.Max(probs[label], 1e-300))
+	for g := range dAct {
+		k := r.assign[g]
+		dScore := probs[k]
+		if k == label {
+			dScore -= 1
+		}
+		dAct[g] = dScore * r.Tau / float64(r.counts[k])
+	}
+	return loss
+}

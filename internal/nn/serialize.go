@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// jsonCore, jsonLayer and jsonNetwork form the on-disk model schema (plain
+// JSON so models are diffable and portable).
+type jsonCore struct {
+	In      []int     `json:"in"`
+	Rows    int       `json:"rows"`
+	Cols    int       `json:"cols"`
+	W       []float64 `json:"w"`
+	Bias    []float64 `json:"bias"`
+	Exports int       `json:"exports"`
+}
+
+type jsonLayer struct {
+	InDim int        `json:"in_dim"`
+	Cores []jsonCore `json:"cores"`
+}
+
+type jsonNetwork struct {
+	CMax           float64     `json:"cmax"`
+	SigmaFloor     float64     `json:"sigma_floor"`
+	SigmaConst     bool        `json:"sigma_const"`
+	MuOffset       float64     `json:"mu_offset,omitempty"`
+	Layers         []jsonLayer `json:"layers"`
+	ReadoutClasses int         `json:"readout_classes"`
+	ReadoutTau     float64     `json:"readout_tau"`
+}
+
+// Write serializes the network as JSON.
+func (n *Network) Write(w io.Writer) error {
+	jn := jsonNetwork{CMax: n.CMax, SigmaFloor: n.SigmaFloor, SigmaConst: n.SigmaConst, MuOffset: n.MuOffset}
+	if n.Readout != nil {
+		jn.ReadoutClasses = n.Readout.Classes
+		jn.ReadoutTau = n.Readout.Tau
+	}
+	for _, l := range n.Layers {
+		jl := jsonLayer{InDim: l.InDim}
+		for _, c := range l.Cores {
+			jl.Cores = append(jl.Cores, jsonCore{
+				In: c.In, Rows: c.W.Rows, Cols: c.W.Cols,
+				W: c.W.Data, Bias: c.Bias, Exports: c.Exports,
+			})
+		}
+		jn.Layers = append(jn.Layers, jl)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jn)
+}
+
+// Read deserializes a network written by Write.
+func Read(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	if err := json.NewDecoder(r).Decode(&jn); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	n := &Network{CMax: jn.CMax, SigmaFloor: jn.SigmaFloor, SigmaConst: jn.SigmaConst, MuOffset: jn.MuOffset}
+	for li, jl := range jn.Layers {
+		l := &CoreLayer{InDim: jl.InDim}
+		for ci, jc := range jl.Cores {
+			if len(jc.W) != jc.Rows*jc.Cols {
+				return nil, fmt.Errorf("nn: layer %d core %d: %d weights for %dx%d", li, ci, len(jc.W), jc.Rows, jc.Cols)
+			}
+			l.Cores = append(l.Cores, &CoreSpec{
+				In: jc.In, W: tensor.FromSlice(jc.Rows, jc.Cols, jc.W),
+				Bias: jc.Bias, Exports: jc.Exports,
+			})
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	if jn.ReadoutClasses > 0 {
+		n.Readout = NewMergeReadout(n.Layers[len(n.Layers)-1].OutDim(), jn.ReadoutClasses, jn.ReadoutTau)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: loaded model invalid: %w", err)
+	}
+	return n, nil
+}
+
+// SaveFile writes the model to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: save model: %w", err)
+	}
+	defer f.Close()
+	if err := n.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load model: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,242 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs   int
+	Batch    int
+	LR       float64
+	Momentum float64
+	// LRDecay multiplies the learning rate after every epoch (1 = constant).
+	LRDecay float64
+	// Lambda is the regularization coefficient of Eq. (16).
+	Lambda  float64
+	Penalty Penalty
+	// Warmup delays the penalty: Lambda is applied only from epoch Warmup
+	// onwards, letting the task structure form before probabilities are
+	// polarized. The paper does not document its schedule; this is our
+	// training-schedule choice (DESIGN.md section 5) and Warmup=0 recovers
+	// penalty-from-the-start behaviour.
+	Warmup int
+	Seed   uint64
+	// Workers bounds data-parallel goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives per-epoch telemetry.
+	Progress func(epoch int, trainLoss, trainAcc float64)
+}
+
+// DefaultTrainConfig returns the settings used by the paper-scale runs
+// (10 epochs, per section 3.1).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs: 10, Batch: 32, LR: 0.1, Momentum: 0.9, LRDecay: 0.85,
+		Lambda: 0, Penalty: NonePenalty{}, Seed: 1, Workers: 0,
+	}
+}
+
+func (c *TrainConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Train runs minibatch SGD with momentum on net over train. Feature vectors
+// shorter than the input layer (grid padding) are zero-extended. Returns the
+// final epoch's mean training loss.
+func Train(net *Network, train *dataset.Dataset, cfg TrainConfig) (float64, error) {
+	if err := net.Validate(); err != nil {
+		return 0, fmt.Errorf("nn: train: %w", err)
+	}
+	if train.Len() == 0 {
+		return 0, fmt.Errorf("nn: train: empty dataset")
+	}
+	if cfg.Penalty == nil {
+		cfg.Penalty = NonePenalty{}
+	}
+	nw := cfg.workers()
+	type worker struct {
+		s *scratch
+		g *netGrads
+	}
+	workers := make([]worker, nw)
+	for i := range workers {
+		workers[i] = worker{s: net.newScratch(), g: net.newGrads()}
+	}
+	velocity := net.newGrads()
+	inputs := padInputs(net, train)
+
+	src := rng.NewPCG32(cfg.Seed, 77)
+	lr := cfg.LR
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		batches := dataset.Batches(src, train.Len(), cfg.Batch, true)
+		var totalLoss float64
+		var totalCorrect int
+		for _, batch := range batches {
+			var wg sync.WaitGroup
+			losses := make([]float64, nw)
+			corrects := make([]int, nw)
+			chunk := (len(batch) + nw - 1) / nw
+			active := 0
+			for w := 0; w < nw; w++ {
+				lo := w * chunk
+				if lo >= len(batch) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(batch) {
+					hi = len(batch)
+				}
+				active++
+				wg.Add(1)
+				go func(w int, idx []int) {
+					defer wg.Done()
+					wk := workers[w]
+					wk.g.zero()
+					for _, si := range idx {
+						out := net.forward(wk.s, inputs[si])
+						net.Readout.Scores(wk.s.scores, out)
+						if tensor.ArgMax(wk.s.scores) == train.Y[si] {
+							corrects[w]++
+						}
+						losses[w] += net.Readout.LossGrad(wk.s.scores, wk.s.probs, train.Y[si], wk.s.dAct[len(net.Layers)])
+						net.backward(wk.s, wk.g)
+					}
+				}(w, batch[lo:hi])
+			}
+			wg.Wait()
+			// Merge worker gradients into workers[0].g.
+			sum := workers[0].g
+			for w := 1; w < active; w++ {
+				sum.add(workers[w].g)
+			}
+			for w := 0; w < active; w++ {
+				totalLoss += losses[w]
+				totalCorrect += corrects[w]
+			}
+			lambda := cfg.Lambda
+			if epoch < cfg.Warmup {
+				lambda = 0
+			}
+			applyUpdate(net, sum, velocity, lr, lambda, cfg, float64(len(batch)))
+		}
+		lastLoss = totalLoss / float64(train.Len())
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, lastLoss, float64(totalCorrect)/float64(train.Len()))
+		}
+		if cfg.LRDecay > 0 {
+			lr *= cfg.LRDecay
+		}
+	}
+	return lastLoss, nil
+}
+
+// applyUpdate performs one momentum SGD step:
+// v <- momentum*v - lr*(dataGrad/batch + lambda*penaltyGrad); w <- clamp(w+v).
+func applyUpdate(net *Network, grads, velocity *netGrads, lr, lambda float64, cfg TrainConfig, batchSize float64) {
+	inv := 1 / batchSize
+	for li, l := range net.Layers {
+		for ci, c := range l.Cores {
+			g, v := grads.layers[li][ci], velocity.layers[li][ci]
+			for i := range c.W.Data {
+				w := c.W.Data[i]
+				grad := g.W.Data[i]*inv + lambda*cfg.Penalty.Grad(w, net.CMax)
+				v.W.Data[i] = cfg.Momentum*v.W.Data[i] - lr*grad
+				c.W.Data[i] = tensor.Clamp(w+v.W.Data[i], -net.CMax, net.CMax)
+			}
+			for j := range c.Bias {
+				grad := g.Bias[j] * inv
+				v.Bias[j] = cfg.Momentum*v.Bias[j] - lr*grad
+				c.Bias[j] += v.Bias[j]
+			}
+		}
+	}
+}
+
+// padInputs zero-extends every feature vector to the network input width
+// (features are laid out on the Height x Width grid with trailing padding).
+func padInputs(net *Network, d *dataset.Dataset) [][]float64 {
+	want := net.Layers[0].InDim
+	out := make([][]float64, d.Len())
+	for i, x := range d.X {
+		if len(x) == want {
+			out[i] = x
+			continue
+		}
+		p := make([]float64, want)
+		copy(p, x)
+		out[i] = p
+	}
+	return out
+}
+
+// Evaluate returns the expectation-model ("Caffe") accuracy of net on d,
+// computed in parallel.
+func Evaluate(net *Network, d *dataset.Dataset, workers int) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	inputs := padInputs(net, d)
+	correct := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (d.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= d.Len() {
+			break
+		}
+		hi := lo + chunk
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := net.newScratch()
+			for i := lo; i < hi; i++ {
+				out := net.forward(s, inputs[i])
+				net.Readout.Scores(s.scores, out)
+				if tensor.ArgMax(s.scores) == d.Y[i] {
+					correct[w]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range correct {
+		total += c
+	}
+	return float64(total) / float64(d.Len())
+}
+
+// PenaltyValue returns the mean per-connection penalty of the network under p,
+// useful for monitoring convergence toward the poles.
+func PenaltyValue(net *Network, p Penalty) float64 {
+	total, count := 0.0, 0
+	for _, l := range net.Layers {
+		for _, c := range l.Cores {
+			for _, w := range c.W.Data {
+				total += p.Value(w, net.CMax)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,235 @@
+package protein
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFeatureDimensionMatchesPaper(t *testing.T) {
+	if FeatDim != 357 {
+		t.Fatalf("FeatDim = %d, paper Table 1 says 357", FeatDim)
+	}
+	if GridSide*GridSide < FeatDim {
+		t.Fatalf("19x19 grid cannot hold %d features", FeatDim)
+	}
+}
+
+func TestTransitionRowsSumToOne(t *testing.T) {
+	for s := 0; s < NumStates; s++ {
+		sum := 0.0
+		for _, p := range transition[s] {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("state %d transition row sums to %v", s, sum)
+		}
+	}
+}
+
+func TestEmissionCDFMonotoneComplete(t *testing.T) {
+	cdf := emissionCDF(1.35)
+	for s := 0; s < NumStates; s++ {
+		prev := 0.0
+		for a := 0; a < 20; a++ {
+			if cdf[s][a] < prev {
+				t.Fatalf("state %d cdf not monotone at %d", s, a)
+			}
+			prev = cdf[s][a]
+		}
+		if cdf[s][19] != 1 {
+			t.Fatalf("state %d cdf ends at %v", s, cdf[s][19])
+		}
+	}
+}
+
+func TestSampleChainLengthBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cdf := emissionCDF(cfg.Sharpness)
+	src := rng.NewPCG32(1, 1)
+	for i := 0; i < 50; i++ {
+		c := sampleChain(src, cfg, &cdf)
+		if len(c.residues) < cfg.MinLen || len(c.residues) > cfg.MaxLen {
+			t.Fatalf("chain length %d outside [%d,%d]", len(c.residues), cfg.MinLen, cfg.MaxLen)
+		}
+		if len(c.states) != len(c.residues) {
+			t.Fatal("states/residues length mismatch")
+		}
+	}
+}
+
+func TestChainStateRunLengths(t *testing.T) {
+	// Helix self-transition 0.875 implies mean run length 1/(1-0.875) = 8.
+	cfg := Config{Train: 0, Test: 0, Seed: 3, Sharpness: 1, MinLen: 200, MaxLen: 200}
+	cdf := emissionCDF(1)
+	src := rng.NewPCG32(4, 4)
+	runs := map[int][]int{}
+	for i := 0; i < 200; i++ {
+		c := sampleChain(src, cfg, &cdf)
+		cur, n := c.states[0], 1
+		for _, s := range c.states[1:] {
+			if s == cur {
+				n++
+			} else {
+				runs[cur] = append(runs[cur], n)
+				cur, n = s, 1
+			}
+		}
+	}
+	mean := func(xs []int) float64 {
+		t := 0
+		for _, x := range xs {
+			t += x
+		}
+		return float64(t) / float64(len(xs))
+	}
+	if m := mean(runs[Helix]); m < 5.5 || m > 10.5 {
+		t.Fatalf("helix mean run %v, want near 8", m)
+	}
+	if m := mean(runs[Sheet]); m < 3.5 || m > 6.5 {
+		t.Fatalf("sheet mean run %v, want near 5", m)
+	}
+}
+
+func TestWindowOneHotStructure(t *testing.T) {
+	c := chain{residues: []int{0, 5, 19}, states: []int{0, 1, 2}}
+	x := window(c, 0)
+	if len(x) != FeatDim {
+		t.Fatalf("window length %d", len(x))
+	}
+	// Exactly one hot entry per window slot.
+	for w := 0; w < WindowLen; w++ {
+		ones := 0
+		for a := 0; a < Alphabet; a++ {
+			if x[w*Alphabet+a] == 1 {
+				ones++
+			} else if x[w*Alphabet+a] != 0 {
+				t.Fatal("non-binary feature")
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("slot %d has %d ones", w, ones)
+		}
+	}
+	// Positions before the chain start must be Pad.
+	half := WindowLen / 2
+	for w := 0; w < half; w++ {
+		if x[w*Alphabet+Pad] != 1 {
+			t.Fatalf("slot %d should be padding", w)
+		}
+	}
+	// Centre slot holds residue 0.
+	if x[half*Alphabet+0] != 1 {
+		t.Fatal("centre slot wrong")
+	}
+}
+
+func TestGenerateSizesAndValidity(t *testing.T) {
+	cfg := Config{Train: 500, Test: 200, Seed: 7, Sharpness: 1.35, MinLen: 60, MaxLen: 120}
+	train, test := Generate(cfg)
+	if train.Len() != 500 || test.Len() != 200 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if train.NumClasses != 3 || train.FeatDim != 357 {
+		t.Fatalf("metadata %+v", train)
+	}
+}
+
+func TestGenerateAllClassesPresent(t *testing.T) {
+	cfg := Config{Train: 2000, Test: 100, Seed: 8, Sharpness: 1.35, MinLen: 60, MaxLen: 120}
+	train, _ := Generate(cfg)
+	for c, n := range train.ClassCounts() {
+		if n == 0 {
+			t.Fatalf("class %d absent", c)
+		}
+		frac := float64(n) / float64(train.Len())
+		if frac < 0.1 {
+			t.Fatalf("class %d underrepresented: %.2f", c, frac)
+		}
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	cfg := Config{Train: 100, Test: 50, Seed: 9, Sharpness: 1.35, MinLen: 60, MaxLen: 80}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatalf("labels diverge at %d", i)
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatalf("features diverge at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestClassesCarrySignal(t *testing.T) {
+	// A naive Bayes on the centre residue alone should beat the majority-class
+	// baseline if emissions differ by state.
+	cfg := Config{Train: 4000, Test: 2000, Seed: 10, Sharpness: 1.35, MinLen: 60, MaxLen: 120}
+	train, test := Generate(cfg)
+	half := WindowLen / 2
+	counts := [NumStates][Alphabet]float64{}
+	prior := [NumStates]float64{}
+	for i := range train.X {
+		y := train.Y[i]
+		prior[y]++
+		for a := 0; a < Alphabet; a++ {
+			if train.X[i][half*Alphabet+a] == 1 {
+				counts[y][a]++
+			}
+		}
+	}
+	correct, majority := 0, 0
+	bestPrior := 0
+	for s := 1; s < NumStates; s++ {
+		if prior[s] > prior[bestPrior] {
+			bestPrior = s
+		}
+	}
+	for i := range test.X {
+		bestScore, best := math.Inf(-1), 0
+		for s := 0; s < NumStates; s++ {
+			for a := 0; a < Alphabet; a++ {
+				if test.X[i][half*Alphabet+a] == 1 {
+					score := math.Log(prior[s]+1) + math.Log(counts[s][a]+1) - math.Log(prior[s]+Alphabet)
+					if score > bestScore {
+						bestScore, best = score, s
+					}
+				}
+			}
+		}
+		if best == test.Y[i] {
+			correct++
+		}
+		if bestPrior == test.Y[i] {
+			majority++
+		}
+	}
+	accNB := float64(correct) / float64(test.Len())
+	accMaj := float64(majority) / float64(test.Len())
+	if accNB <= accMaj+0.02 {
+		t.Fatalf("centre-residue Bayes %.3f does not beat majority %.3f; no signal", accNB, accMaj)
+	}
+	t.Logf("naive bayes %.3f vs majority %.3f", accNB, accMaj)
+}
+
+func BenchmarkGenerateWindow(b *testing.B) {
+	cfg := DefaultConfig()
+	cdf := emissionCDF(cfg.Sharpness)
+	src := rng.NewPCG32(1, 1)
+	c := sampleChain(src, cfg, &cdf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		window(c, i%len(c.residues))
+	}
+}

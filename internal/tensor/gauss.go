@@ -1,0 +1,43 @@
+package tensor
+
+import "math"
+
+// The Gaussian helpers below implement Eq. (10)-(11) of the paper: the
+// probability that the noisy membrane sum y' (approximately normal by the CLT)
+// crosses the firing threshold.
+
+const (
+	invSqrt2   = 1 / math.Sqrt2
+	invSqrt2Pi = 1 / (math.Sqrt2 * math.SqrtPi)
+)
+
+// Phi is the standard normal CDF.
+func Phi(x float64) float64 { return 0.5 * (1 + math.Erf(x*invSqrt2)) }
+
+// PhiPDF is the standard normal density.
+func PhiPDF(x float64) float64 { return invSqrt2Pi * math.Exp(-0.5*x*x) }
+
+// SpikeProb returns P(y' >= 0) for y' ~ N(mu, sigma^2), i.e. Eq. (11):
+// the expected binary output of a McCulloch-Pitts TrueNorth neuron whose
+// noisy weighted sum has the given mean and standard deviation. For sigma -> 0
+// it degenerates to the deterministic step function.
+func SpikeProb(mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if mu >= 0 {
+			return 1
+		}
+		return 0
+	}
+	return Phi(mu / sigma)
+}
+
+// SpikeProbGrad returns the partial derivatives of SpikeProb with respect to
+// mu and sigma. Used by the Tea-learning backward pass.
+func SpikeProbGrad(mu, sigma float64) (dMu, dSigma float64) {
+	if sigma <= 0 {
+		return 0, 0
+	}
+	u := mu / sigma
+	p := PhiPDF(u)
+	return p / sigma, -p * u / sigma
+}

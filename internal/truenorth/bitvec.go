@@ -1,0 +1,58 @@
+// Package truenorth implements a from-scratch simulator of the IBM TrueNorth
+// neuro-synaptic architecture: binary-spike cores with configurable synaptic
+// crossbars, four axon types with per-neuron weight tables, leaky
+// integrate-and-fire neurons with stochastic leak, and a tick-driven
+// spike-routing chip model (DESIGN.md section 2 documents the substitution
+// for the real NS1e hardware and the NSCS simulator used by the paper).
+//
+// The simulator is bit-parallel: axon activity and synaptic connectivity are
+// stored as bit vectors, so one neuron integration is a handful of AND +
+// POPCOUNT word operations — mirroring how the digital hardware evaluates a
+// whole 256-axon column at once.
+package truenorth
+
+import "math/bits"
+
+// BitVec is a fixed-capacity bitset used for axon activity and synapse masks.
+type BitVec []uint64
+
+// NewBitVec returns a bitset able to hold n bits.
+func NewBitVec(n int) BitVec { return make(BitVec, (n+63)/64) }
+
+// Set turns bit i on.
+func (b BitVec) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear turns bit i off.
+func (b BitVec) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (b BitVec) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Zero clears the whole vector.
+func (b BitVec) Zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (b BitVec) OnesCount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CopyFrom copies a into b (lengths must match).
+func (b BitVec) CopyFrom(a BitVec) { copy(b, a) }
+
+// AndPopcount returns the population count of a AND b, the core primitive of
+// crossbar integration. The vectors must have equal length.
+func AndPopcount(a, b BitVec) int {
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}

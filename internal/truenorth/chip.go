@@ -1,0 +1,174 @@
+package truenorth
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Routing target sentinels.
+const (
+	// External routes a neuron's spikes off-chip into an external sink
+	// (the merged class counters of the paper's readout).
+	External = -1
+	// Unrouted drops a neuron's spikes.
+	Unrouted = -2
+)
+
+// Target is a neuron's output destination: an (axon of a core) on chip, an
+// external sink, or nowhere. TrueNorth neurons each have exactly one target.
+type Target struct {
+	// Core is a core index returned by AddCore, External, or Unrouted.
+	Core int
+	// Axon is the destination axon (Core >= 0) or the external sink index
+	// (Core == External).
+	Axon int
+}
+
+// ChipCapacity is the core count of one TrueNorth chip (64x64 grid).
+const ChipCapacity = 4096
+
+// Chip is a network of cores with static spike routing and a global tick.
+// Spikes emitted during tick T are delivered to their destination axons at
+// tick T+1, matching the hardware's one-tick transport discipline.
+type Chip struct {
+	// Capacity bounds AddCore; defaults to ChipCapacity.
+	Capacity int
+
+	cores   []*Core
+	targets [][]Target // per core, per neuron
+	pending []BitVec   // axon activity for the next tick, per core
+	outBuf  []BitVec   // neuron spike scratch, per core
+
+	extCounts []int64
+	stats     Stats
+	seed      *rng.PCG32
+}
+
+// Stats aggregates simulation activity.
+type Stats struct {
+	Ticks     int64
+	Spikes    int64 // neuron firings
+	SynEvents int64 // active-synapse events (energy unit)
+}
+
+// SynapticEnergyJoules estimates dynamic energy from synaptic events using
+// the 26 pJ/event figure reported for the real chip (Merolla et al., Science
+// 2014). Shape-level only: our interest is relative cost between
+// configurations, not absolute silicon power.
+func (s Stats) SynapticEnergyJoules() float64 { return float64(s.SynEvents) * 26e-12 }
+
+// NewChip returns an empty chip. The seed derives every core's private PRNG
+// stream.
+func NewChip(seed uint64) *Chip {
+	return &Chip{Capacity: ChipCapacity, seed: rng.NewPCG32(seed, 4096)}
+}
+
+// AddCore places a core on the chip and returns its index. The core is given
+// a private PRNG stream split from the chip seed.
+func (ch *Chip) AddCore(axons, neurons int) (int, *Core, error) {
+	if len(ch.cores) >= ch.Capacity {
+		return 0, nil, fmt.Errorf("truenorth: chip full (%d cores)", ch.Capacity)
+	}
+	c := NewCore(axons, neurons, ch.seed.Split(uint64(len(ch.cores))))
+	ch.cores = append(ch.cores, c)
+	ch.targets = append(ch.targets, make([]Target, neurons))
+	for j := range ch.targets[len(ch.targets)-1] {
+		ch.targets[len(ch.targets)-1][j] = Target{Core: Unrouted}
+	}
+	ch.pending = append(ch.pending, NewBitVec(axons))
+	ch.outBuf = append(ch.outBuf, NewBitVec(neurons))
+	return len(ch.cores) - 1, c, nil
+}
+
+// Core returns the core at index i.
+func (ch *Chip) Core(i int) *Core { return ch.cores[i] }
+
+// NumCores returns the number of placed cores — the paper's core-occupation
+// metric.
+func (ch *Chip) NumCores() int { return len(ch.cores) }
+
+// Route sets the output target of (core, neuron).
+func (ch *Chip) Route(core, neuron int, t Target) error {
+	if core < 0 || core >= len(ch.cores) || neuron < 0 || neuron >= ch.cores[core].Neurons {
+		return fmt.Errorf("truenorth: route source (%d,%d) out of range", core, neuron)
+	}
+	switch {
+	case t.Core == External:
+		if t.Axon < 0 || t.Axon >= len(ch.extCounts) {
+			return fmt.Errorf("truenorth: external sink %d out of range (have %d)", t.Axon, len(ch.extCounts))
+		}
+	case t.Core == Unrouted:
+	case t.Core < 0 || t.Core >= len(ch.cores):
+		return fmt.Errorf("truenorth: route target core %d out of range", t.Core)
+	default:
+		if t.Axon < 0 || t.Axon >= ch.cores[t.Core].Axons {
+			return fmt.Errorf("truenorth: route target axon %d out of range on core %d", t.Axon, t.Core)
+		}
+	}
+	ch.targets[core][neuron] = t
+	return nil
+}
+
+// SetExternalSinks allocates n off-chip spike counters.
+func (ch *Chip) SetExternalSinks(n int) {
+	ch.extCounts = make([]int64, n)
+}
+
+// Inject queues an external spike on (core, axon) for the next tick.
+func (ch *Chip) Inject(core, axon int) {
+	ch.pending[core].Set(axon)
+}
+
+// Tick advances the chip by one time step: every core evaluates its pending
+// axon activity, spikes are routed, and the pending buffers are rebuilt for
+// the next tick.
+func (ch *Chip) Tick() {
+	ch.stats.Ticks++
+	// Evaluate all cores on the current pending activity first (so routing
+	// within this tick cannot leak into the same tick), then deliver.
+	for i, c := range ch.cores {
+		ch.stats.SynEvents += c.SynEvents(ch.pending[i])
+		ch.stats.Spikes += int64(c.Tick(ch.pending[i], ch.outBuf[i]))
+	}
+	for i := range ch.pending {
+		ch.pending[i].Zero()
+	}
+	for i, c := range ch.cores {
+		out := ch.outBuf[i]
+		for j := 0; j < c.Neurons; j++ {
+			if !out.Get(j) {
+				continue
+			}
+			t := ch.targets[i][j]
+			switch t.Core {
+			case Unrouted:
+			case External:
+				ch.extCounts[t.Axon]++
+			default:
+				ch.pending[t.Core].Set(t.Axon)
+			}
+		}
+	}
+}
+
+// ExternalCounts returns the accumulated off-chip spike counts.
+func (ch *Chip) ExternalCounts() []int64 { return ch.extCounts }
+
+// ResetActivity clears pending spikes, external counters, membrane potentials
+// and statistics — the start of a fresh frame.
+func (ch *Chip) ResetActivity() {
+	for i := range ch.pending {
+		ch.pending[i].Zero()
+	}
+	for i := range ch.extCounts {
+		ch.extCounts[i] = 0
+	}
+	for _, c := range ch.cores {
+		c.Reset()
+	}
+	ch.stats = Stats{}
+}
+
+// Stats returns simulation counters accumulated since the last reset.
+func (ch *Chip) Stats() Stats { return ch.stats }

@@ -1,0 +1,221 @@
+package truenorth
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+const (
+	// DefaultCoreSize is the axon and neuron capacity of a TrueNorth
+	// neuro-synaptic core (a 256x256 crossbar).
+	DefaultCoreSize = 256
+	// NumAxonTypes is the number of axon types; each neuron holds one signed
+	// integer weight per type.
+	NumAxonTypes = 4
+	// UntypedAxon marks an axon with no hardware type constraint. Cores built
+	// by the paper's idealized per-synapse-sign mapping (Eq. 6 treats the
+	// integer c_i as a per-connection quantity) leave axons untyped;
+	// ValidateHardware rejects such cores, documenting precisely where the
+	// paper's model departs from the physical chip.
+	UntypedAxon = -1
+)
+
+// WeightTable is a neuron's per-axon-type signed synaptic weight selection.
+type WeightTable [NumAxonTypes]int32
+
+// Core models one neuro-synaptic core: a binary crossbar connecting Axons
+// input lines to Neurons LIF neurons. Connectivity is stored as one bitset per
+// (neuron, axon type) pair so that integration is AND+POPCOUNT per type.
+type Core struct {
+	Axons, Neurons int
+
+	// masks[j*NumAxonTypes+t] holds the axons connected to neuron j whose
+	// synapse uses weight table entry t.
+	masks []BitVec
+	// weights[j] is neuron j's weight table.
+	weights []WeightTable
+	// cfg[j] is neuron j's LIF configuration.
+	cfg []NeuronConfig
+	// potential[j] is the persistent membrane potential (Persistent mode).
+	potential []int32
+	// axonTypes[i] is the hardware type of axon i, or UntypedAxon.
+	axonTypes []int8
+	// prng drives stochastic leak draws; every core owns an independent
+	// stream like the per-core hardware PRNG.
+	prng rng.Source
+}
+
+// NewCore returns an empty core with the given dimensions. Dimensions beyond
+// DefaultCoreSize are permitted for experimentation but flagged by
+// ValidateHardware.
+func NewCore(axons, neurons int, prng rng.Source) *Core {
+	if axons <= 0 || neurons <= 0 {
+		panic(fmt.Sprintf("truenorth: invalid core dims %dx%d", axons, neurons))
+	}
+	c := &Core{
+		Axons:     axons,
+		Neurons:   neurons,
+		masks:     make([]BitVec, neurons*NumAxonTypes),
+		weights:   make([]WeightTable, neurons),
+		cfg:       make([]NeuronConfig, neurons),
+		potential: make([]int32, neurons),
+		axonTypes: make([]int8, axons),
+		prng:      prng,
+	}
+	for i := range c.masks {
+		c.masks[i] = NewBitVec(axons)
+	}
+	for i := range c.axonTypes {
+		c.axonTypes[i] = UntypedAxon
+	}
+	return c
+}
+
+// Connect wires axon -> neuron through weight table entry t.
+func (c *Core) Connect(axon, neuron, t int) {
+	if axon < 0 || axon >= c.Axons || neuron < 0 || neuron >= c.Neurons || t < 0 || t >= NumAxonTypes {
+		panic(fmt.Sprintf("truenorth: Connect(%d,%d,%d) out of range", axon, neuron, t))
+	}
+	c.masks[neuron*NumAxonTypes+t].Set(axon)
+}
+
+// Connected reports whether axon feeds neuron through entry t.
+func (c *Core) Connected(axon, neuron, t int) bool {
+	return c.masks[neuron*NumAxonTypes+t].Get(axon)
+}
+
+// SetWeights assigns neuron j's weight table.
+func (c *Core) SetWeights(j int, w WeightTable) { c.weights[j] = w }
+
+// WeightsOf returns neuron j's weight table.
+func (c *Core) WeightsOf(j int) WeightTable { return c.weights[j] }
+
+// SetNeuron assigns neuron j's LIF configuration.
+func (c *Core) SetNeuron(j int, cfg NeuronConfig) { c.cfg[j] = cfg }
+
+// NeuronCfg returns neuron j's configuration.
+func (c *Core) NeuronCfg(j int) NeuronConfig { return c.cfg[j] }
+
+// SetAxonType declares axon i to be of hardware type t.
+func (c *Core) SetAxonType(i, t int) {
+	if t < 0 || t >= NumAxonTypes {
+		panic(fmt.Sprintf("truenorth: axon type %d out of range", t))
+	}
+	c.axonTypes[i] = int8(t)
+}
+
+// AxonType returns axon i's declared type (UntypedAxon if unconstrained).
+func (c *Core) AxonType(i int) int { return int(c.axonTypes[i]) }
+
+// ValidateHardware checks that the core is realizable on the physical chip:
+// dimensions within the 256x256 crossbar, every axon carrying a declared
+// type, and every connection using exactly its axon's type entry. Cores built
+// in the paper's idealized signed mode fail this check by construction.
+func (c *Core) ValidateHardware() error {
+	if c.Axons > DefaultCoreSize || c.Neurons > DefaultCoreSize {
+		return fmt.Errorf("truenorth: core %dx%d exceeds the %dx%d crossbar", c.Axons, c.Neurons, DefaultCoreSize, DefaultCoreSize)
+	}
+	for i := 0; i < c.Axons; i++ {
+		if c.axonTypes[i] == UntypedAxon {
+			// Untyped axons are fine if nothing connects through them.
+			for j := 0; j < c.Neurons; j++ {
+				for t := 0; t < NumAxonTypes; t++ {
+					if c.Connected(i, j, t) {
+						return fmt.Errorf("truenorth: axon %d used by neuron %d but has no hardware type", i, j)
+					}
+				}
+			}
+			continue
+		}
+		at := int(c.axonTypes[i])
+		for j := 0; j < c.Neurons; j++ {
+			for t := 0; t < NumAxonTypes; t++ {
+				if t != at && c.Connected(i, j, t) {
+					return fmt.Errorf("truenorth: neuron %d reads axon %d via type %d, but the axon is type %d", j, i, t, at)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Integrate returns neuron j's synaptic input for the active axon set:
+// sum over types t of weight[t] * |active AND mask[j][t]|.
+func (c *Core) Integrate(j int, active BitVec) int32 {
+	var v int32
+	base := j * NumAxonTypes
+	for t := 0; t < NumAxonTypes; t++ {
+		if w := c.weights[j][t]; w != 0 {
+			v += w * int32(AndPopcount(active, c.masks[base+t]))
+		}
+	}
+	return v
+}
+
+// SynEvents counts the active synapse events (spike arriving on a connected
+// synapse) for the whole core given the active axon set — the unit of the
+// energy model.
+func (c *Core) SynEvents(active BitVec) int64 {
+	var n int64
+	for j := 0; j < c.Neurons; j++ {
+		base := j * NumAxonTypes
+		for t := 0; t < NumAxonTypes; t++ {
+			n += int64(AndPopcount(active, c.masks[base+t]))
+		}
+	}
+	return n
+}
+
+// Tick evaluates every neuron for one tick given the active axon set, writing
+// spikes into out (which must hold Neurons bits) and returning the spike
+// count. The core's own PRNG drives stochastic leak.
+func (c *Core) Tick(active BitVec, out BitVec) int {
+	out.Zero()
+	spikes := 0
+	for j := 0; j < c.Neurons; j++ {
+		cfg := &c.cfg[j]
+		v := c.Integrate(j, active) + cfg.LeakDraw(c.prng)
+		if cfg.Persistent {
+			v += c.potential[j]
+			if v >= cfg.Threshold {
+				out.Set(j)
+				spikes++
+				c.potential[j] = cfg.ResetTo
+			} else {
+				c.potential[j] = v
+			}
+			continue
+		}
+		// McCulloch-Pitts (Eq. 3-4): evaluate and reset every tick.
+		if v >= cfg.Threshold {
+			out.Set(j)
+			spikes++
+		}
+	}
+	return spikes
+}
+
+// Reset clears persistent membrane potentials.
+func (c *Core) Reset() {
+	for i := range c.potential {
+		c.potential[i] = 0
+	}
+}
+
+// Potential returns neuron j's stored membrane potential (Persistent mode).
+func (c *Core) Potential(j int) int32 { return c.potential[j] }
+
+// EffectiveWeight returns the deployed signed weight of the (axon, neuron)
+// synapse: the weight table entry selected by the connection, or 0 when
+// disconnected. This is the quantity compared against the trained weight in
+// the paper's Figure 4 deviation maps.
+func (c *Core) EffectiveWeight(axon, neuron int) int32 {
+	base := neuron * NumAxonTypes
+	for t := 0; t < NumAxonTypes; t++ {
+		if c.masks[base+t].Get(axon) {
+			return c.weights[neuron][t]
+		}
+	}
+	return 0
+}

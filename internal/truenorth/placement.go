@@ -1,0 +1,245 @@
+package truenorth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GridSide is the side length of the physical core grid (64x64 = 4096).
+const GridSide = 64
+
+// Placement assigns logical cores to physical (row, col) slots on the chip's
+// 2-D mesh. TrueNorth routes spikes over a dimension-ordered mesh network, so
+// total Manhattan wire length between communicating cores is the first-order
+// proxy for routing energy and congestion — the metric corelet placement
+// flows optimize.
+type Placement struct {
+	// Slot[i] is the grid position of logical core i.
+	Slot []GridPos
+	used map[GridPos]int
+}
+
+// GridPos is a physical core coordinate.
+type GridPos struct{ Row, Col int }
+
+// NewPlacement returns an empty placement.
+func NewPlacement() *Placement {
+	return &Placement{used: make(map[GridPos]int)}
+}
+
+// Assign places logical core i at pos. Assigning two cores to one slot or a
+// position off the grid is an error.
+func (p *Placement) Assign(core int, pos GridPos) error {
+	if pos.Row < 0 || pos.Row >= GridSide || pos.Col < 0 || pos.Col >= GridSide {
+		return fmt.Errorf("truenorth: position %+v outside the %dx%d grid", pos, GridSide, GridSide)
+	}
+	if prev, ok := p.used[pos]; ok {
+		return fmt.Errorf("truenorth: slot %+v already holds core %d", pos, prev)
+	}
+	for core >= len(p.Slot) {
+		p.Slot = append(p.Slot, GridPos{-1, -1})
+	}
+	if p.Slot[core].Row >= 0 {
+		return fmt.Errorf("truenorth: core %d already placed at %+v", core, p.Slot[core])
+	}
+	p.Slot[core] = pos
+	p.used[pos] = core
+	return nil
+}
+
+// Manhattan returns the mesh hop distance between two placed cores.
+func (p *Placement) Manhattan(a, b int) int {
+	pa, pb := p.Slot[a], p.Slot[b]
+	return abs(pa.Row-pb.Row) + abs(pa.Col-pb.Col)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Traffic is one logical core-to-core connection with a spike-rate weight.
+type Traffic struct {
+	Src, Dst int
+	// Weight is the expected spikes per tick on this link.
+	Weight float64
+}
+
+// WireCost returns the total weighted Manhattan distance of the traffic set
+// under the placement — the objective corelet placers minimize.
+func (p *Placement) WireCost(traffic []Traffic) float64 {
+	total := 0.0
+	for _, t := range traffic {
+		total += t.Weight * float64(p.Manhattan(t.Src, t.Dst))
+	}
+	return total
+}
+
+// PlaceRowMajor fills the grid left-to-right, top-to-bottom — the naive
+// baseline placement.
+func PlaceRowMajor(numCores int) (*Placement, error) {
+	if numCores > GridSide*GridSide {
+		return nil, fmt.Errorf("truenorth: %d cores exceed the %d-core chip", numCores, GridSide*GridSide)
+	}
+	p := NewPlacement()
+	for i := 0; i < numCores; i++ {
+		if err := p.Assign(i, GridPos{Row: i / GridSide, Col: i % GridSide}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// LayerSpan describes the cores of one network layer as a contiguous logical
+// index range with a 2-D layer-grid shape (rows x cols), matching the block
+// structure of the paper's networks.
+type LayerSpan struct {
+	Start      int
+	Rows, Cols int
+}
+
+// PlaceLayered places a layered network so consecutive layers sit in adjacent
+// grid column bands with each layer's own 2-D arrangement preserved. This
+// mirrors the feed-forward placement used for block-structured corelets:
+// inter-layer spikes travel mostly one band to the right.
+func PlaceLayered(layers []LayerSpan) (*Placement, error) {
+	p := NewPlacement()
+	colBase := 0
+	for li, l := range layers {
+		if l.Rows <= 0 || l.Cols <= 0 {
+			return nil, fmt.Errorf("truenorth: layer %d has empty grid", li)
+		}
+		if l.Rows > GridSide {
+			return nil, fmt.Errorf("truenorth: layer %d rows %d exceed grid", li, l.Rows)
+		}
+		if colBase+l.Cols > GridSide {
+			return nil, fmt.Errorf("truenorth: layered placement overflows the chip at layer %d", li)
+		}
+		for r := 0; r < l.Rows; r++ {
+			for c := 0; c < l.Cols; c++ {
+				core := l.Start + r*l.Cols + c
+				if err := p.Assign(core, GridPos{Row: r, Col: colBase + c}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		colBase += l.Cols
+	}
+	return p, nil
+}
+
+// ImproveGreedy performs pairwise-swap hill climbing on the placement until
+// no single swap reduces wire cost or maxPasses is reached. It is a
+// deterministic, dependency-free stand-in for the simulated-annealing placers
+// used by real corelet flows; returns the final cost.
+func (p *Placement) ImproveGreedy(traffic []Traffic, maxPasses int) float64 {
+	// Precompute adjacency for incremental cost deltas.
+	adj := make(map[int][]Traffic)
+	for _, t := range traffic {
+		adj[t.Src] = append(adj[t.Src], t)
+		adj[t.Dst] = append(adj[t.Dst], t)
+	}
+	cost := func(core int) float64 {
+		total := 0.0
+		for _, t := range adj[core] {
+			total += t.Weight * float64(p.Manhattan(t.Src, t.Dst))
+		}
+		return total
+	}
+	n := len(p.Slot)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				before := cost(a) + cost(b)
+				p.swap(a, b)
+				after := cost(a) + cost(b)
+				if after+1e-12 < before {
+					improved = true
+				} else {
+					p.swap(a, b)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return p.WireCost(traffic)
+}
+
+func (p *Placement) swap(a, b int) {
+	p.Slot[a], p.Slot[b] = p.Slot[b], p.Slot[a]
+	p.used[p.Slot[a]] = a
+	p.used[p.Slot[b]] = b
+}
+
+// CongestionProfile returns, per mesh row and column, the total traffic
+// weight crossing it under dimension-ordered (X-then-Y) routing. The maximum
+// entry estimates the hottest mesh link.
+type CongestionProfile struct {
+	RowLoad, ColLoad []float64
+}
+
+// Congestion computes the profile for the placement and traffic set.
+func (p *Placement) Congestion(traffic []Traffic) CongestionProfile {
+	cp := CongestionProfile{
+		RowLoad: make([]float64, GridSide),
+		ColLoad: make([]float64, GridSide),
+	}
+	for _, t := range traffic {
+		src, dst := p.Slot[t.Src], p.Slot[t.Dst]
+		// X-first: traverse columns along the source row...
+		lo, hi := src.Col, dst.Col
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for c := lo; c < hi; c++ {
+			cp.ColLoad[c] += t.Weight
+		}
+		// ...then rows along the destination column.
+		lo, hi = src.Row, dst.Row
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for r := lo; r < hi; r++ {
+			cp.RowLoad[r] += t.Weight
+		}
+	}
+	return cp
+}
+
+// MaxLoad returns the hottest row/column load.
+func (cp CongestionProfile) MaxLoad() float64 {
+	best := 0.0
+	for _, v := range cp.RowLoad {
+		if v > best {
+			best = v
+		}
+	}
+	for _, v := range cp.ColLoad {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SortedLoads returns all non-zero loads descending (diagnostics).
+func (cp CongestionProfile) SortedLoads() []float64 {
+	var out []float64
+	for _, v := range cp.RowLoad {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	for _, v := range cp.ColLoad {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,479 @@
+package truenorth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBitVecBasics(t *testing.T) {
+	b := NewBitVec(130)
+	if len(b) != 3 {
+		t.Fatalf("130 bits need 3 words, got %d", len(b))
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("set/get broken")
+	}
+	if b.OnesCount() != 3 {
+		t.Fatalf("popcount %d", b.OnesCount())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.OnesCount() != 2 {
+		t.Fatal("clear broken")
+	}
+	b.Zero()
+	if b.OnesCount() != 0 {
+		t.Fatal("zero broken")
+	}
+}
+
+func TestAndPopcountMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.NewPCG32(seed, 1)
+		n := 1 + rng.Intn(src, 300)
+		a, b := NewBitVec(n), NewBitVec(n)
+		naive := 0
+		for i := 0; i < n; i++ {
+			ab := rng.Bernoulli(src, 0.4)
+			bb := rng.Bernoulli(src, 0.4)
+			if ab {
+				a.Set(i)
+			}
+			if bb {
+				b.Set(i)
+			}
+			if ab && bb {
+				naive++
+			}
+		}
+		return AndPopcount(a, b) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakDrawIntegerExact(t *testing.T) {
+	cfg := NeuronConfig{Leak: -3}
+	src := rng.NewPCG32(1, 1)
+	for i := 0; i < 100; i++ {
+		if l := cfg.LeakDraw(src); l != -3 {
+			t.Fatalf("integer leak drew %d", l)
+		}
+	}
+}
+
+func TestLeakDrawStochasticUnbiased(t *testing.T) {
+	// Leak 1.3 must draw 1 or 2 with mean 1.3.
+	cfg := NeuronConfig{Leak: 1.3}
+	src := rng.NewPCG32(2, 2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		l := cfg.LeakDraw(src)
+		if l != 1 && l != 2 {
+			t.Fatalf("leak 1.3 drew %d", l)
+		}
+		sum += float64(l)
+	}
+	if mean := sum / n; math.Abs(mean-1.3) > 0.01 {
+		t.Fatalf("stochastic leak mean %v, want 1.3", mean)
+	}
+}
+
+func TestLeakDrawNegativeFraction(t *testing.T) {
+	// Leak -0.25 floors to -1 plus Bernoulli(0.75): draws in {-1, 0}, mean -0.25.
+	cfg := NeuronConfig{Leak: -0.25}
+	src := rng.NewPCG32(3, 3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		l := cfg.LeakDraw(src)
+		if l != -1 && l != 0 {
+			t.Fatalf("leak -0.25 drew %d", l)
+		}
+		sum += float64(l)
+	}
+	if mean := sum / n; math.Abs(mean+0.25) > 0.01 {
+		t.Fatalf("mean %v, want -0.25", mean)
+	}
+}
+
+func newTestCore(axons, neurons int) *Core {
+	return NewCore(axons, neurons, rng.NewPCG32(9, 9))
+}
+
+func TestCoreConnectAndIntegrate(t *testing.T) {
+	c := newTestCore(8, 2)
+	c.SetWeights(0, WeightTable{2, -1, 0, 0})
+	c.Connect(0, 0, 0) // axon0 +2
+	c.Connect(1, 0, 0) // axon1 +2
+	c.Connect(2, 0, 1) // axon2 -1
+	active := NewBitVec(8)
+	active.Set(0)
+	active.Set(2)
+	if v := c.Integrate(0, active); v != 1 { // 2 - 1
+		t.Fatalf("integrate = %d, want 1", v)
+	}
+	active.Set(1)
+	if v := c.Integrate(0, active); v != 3 { // 2 + 2 - 1
+		t.Fatalf("integrate = %d, want 3", v)
+	}
+	// Neuron 1 has no connections.
+	if v := c.Integrate(1, active); v != 0 {
+		t.Fatalf("disconnected neuron integrates %d", v)
+	}
+}
+
+func TestCoreConnectPanicsOutOfRange(t *testing.T) {
+	c := newTestCore(4, 4)
+	for _, bad := range []func(){
+		func() { c.Connect(-1, 0, 0) },
+		func() { c.Connect(0, 4, 0) },
+		func() { c.Connect(0, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestCoreTickMcCullochPitts(t *testing.T) {
+	c := newTestCore(4, 3)
+	// Neuron 0: weight +1 on axon0, leak -1 => fires only when axon0 active
+	// (1 - 1 = 0 >= 0).
+	c.SetWeights(0, WeightTable{1, 0, 0, 0})
+	c.Connect(0, 0, 0)
+	c.SetNeuron(0, NeuronConfig{Leak: -1})
+	// Neuron 1: no input, leak 0 => always fires (0 >= 0).
+	// Neuron 2: no input, leak -1 => never fires.
+	c.SetNeuron(2, NeuronConfig{Leak: -1})
+
+	active := NewBitVec(4)
+	out := NewBitVec(3)
+	if spikes := c.Tick(active, out); spikes != 1 || out.Get(0) || !out.Get(1) || out.Get(2) {
+		t.Fatalf("idle tick: spikes=%d out0=%v out1=%v out2=%v", spikes, out.Get(0), out.Get(1), out.Get(2))
+	}
+	active.Set(0)
+	if spikes := c.Tick(active, out); spikes != 2 || !out.Get(0) {
+		t.Fatalf("active tick: spikes=%d out0=%v", spikes, out.Get(0))
+	}
+	// McCulloch-Pitts carries no state: repeating the idle tick reverts.
+	active.Zero()
+	if spikes := c.Tick(active, out); spikes != 1 || out.Get(0) {
+		t.Fatal("history leaked into memoryless neuron")
+	}
+}
+
+func TestCoreTickPersistentLIF(t *testing.T) {
+	c := newTestCore(2, 1)
+	c.SetWeights(0, WeightTable{1, 0, 0, 0})
+	c.Connect(0, 0, 0)
+	c.SetNeuron(0, NeuronConfig{Threshold: 3, Persistent: true, ResetTo: 0})
+	active := NewBitVec(2)
+	active.Set(0)
+	out := NewBitVec(1)
+	// Accumulates +1 per tick; fires on the third tick (potential reaches 3).
+	for tick := 1; tick <= 3; tick++ {
+		spikes := c.Tick(active, out)
+		if tick < 3 && spikes != 0 {
+			t.Fatalf("fired early at tick %d", tick)
+		}
+		if tick == 3 && spikes != 1 {
+			t.Fatalf("did not fire at tick 3 (potential %d)", c.Potential(0))
+		}
+	}
+	if c.Potential(0) != 0 {
+		t.Fatalf("potential %d after reset", c.Potential(0))
+	}
+	c.Reset()
+	if c.Potential(0) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestCoreSynEvents(t *testing.T) {
+	c := newTestCore(4, 2)
+	c.Connect(0, 0, 0)
+	c.Connect(1, 0, 0)
+	c.Connect(0, 1, 1)
+	active := NewBitVec(4)
+	active.Set(0)
+	if n := c.SynEvents(active); n != 2 { // axon0 feeds both neurons
+		t.Fatalf("SynEvents = %d, want 2", n)
+	}
+	active.Set(1)
+	if n := c.SynEvents(active); n != 3 {
+		t.Fatalf("SynEvents = %d, want 3", n)
+	}
+}
+
+func TestCoreEffectiveWeight(t *testing.T) {
+	c := newTestCore(4, 2)
+	c.SetWeights(0, WeightTable{5, -3, 0, 0})
+	c.Connect(0, 0, 0)
+	c.Connect(1, 0, 1)
+	if w := c.EffectiveWeight(0, 0); w != 5 {
+		t.Fatalf("effective weight %d, want 5", w)
+	}
+	if w := c.EffectiveWeight(1, 0); w != -3 {
+		t.Fatalf("effective weight %d, want -3", w)
+	}
+	if w := c.EffectiveWeight(2, 0); w != 0 {
+		t.Fatalf("disconnected weight %d, want 0", w)
+	}
+}
+
+func TestValidateHardware(t *testing.T) {
+	// Untyped axon in use -> invalid.
+	c := newTestCore(4, 2)
+	c.Connect(0, 0, 0)
+	if err := c.ValidateHardware(); err == nil {
+		t.Fatal("untyped connected axon accepted")
+	}
+	// Correctly typed -> valid.
+	c.SetAxonType(0, 0)
+	if err := c.ValidateHardware(); err != nil {
+		t.Fatal(err)
+	}
+	// Connection through the wrong type entry -> invalid.
+	c.Connect(0, 1, 2)
+	if err := c.ValidateHardware(); err == nil {
+		t.Fatal("wrong-type connection accepted")
+	}
+	// Oversized core -> invalid.
+	big := NewCore(300, 2, rng.NewPCG32(1, 1))
+	if err := big.ValidateHardware(); err == nil {
+		t.Fatal("oversized core accepted")
+	}
+	// Untyped but unused axons are fine.
+	idle := newTestCore(4, 2)
+	if err := idle.ValidateHardware(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChipAddCoreCapacity(t *testing.T) {
+	ch := NewChip(1)
+	ch.Capacity = 2
+	if _, _, err := ch.AddCore(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ch.AddCore(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ch.AddCore(4, 4); err == nil {
+		t.Fatal("over-capacity AddCore accepted")
+	}
+	if ch.NumCores() != 2 {
+		t.Fatalf("NumCores %d", ch.NumCores())
+	}
+}
+
+func TestChipRouteValidation(t *testing.T) {
+	ch := NewChip(1)
+	i0, _, _ := ch.AddCore(4, 4)
+	ch.SetExternalSinks(2)
+	if err := ch.Route(i0, 0, Target{Core: i0, Axon: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Route(i0, 0, Target{Core: 5, Axon: 0}); err == nil {
+		t.Fatal("bad target core accepted")
+	}
+	if err := ch.Route(i0, 0, Target{Core: i0, Axon: 9}); err == nil {
+		t.Fatal("bad target axon accepted")
+	}
+	if err := ch.Route(i0, 9, Target{Core: i0, Axon: 0}); err == nil {
+		t.Fatal("bad source neuron accepted")
+	}
+	if err := ch.Route(i0, 0, Target{Core: External, Axon: 5}); err == nil {
+		t.Fatal("bad sink index accepted")
+	}
+	if err := ch.Route(i0, 0, Target{Core: External, Axon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Route(i0, 0, Target{Core: Unrouted}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildRelay wires a two-core relay: external -> core0 -> core1 -> sink 0.
+func buildRelay(t *testing.T) *Chip {
+	t.Helper()
+	ch := NewChip(7)
+	ch.SetExternalSinks(1)
+	i0, c0, _ := ch.AddCore(1, 1)
+	i1, c1, _ := ch.AddCore(1, 1)
+	for _, c := range []*Core{c0, c1} {
+		c.SetWeights(0, WeightTable{1, 0, 0, 0})
+		c.Connect(0, 0, 0)
+		c.SetNeuron(0, NeuronConfig{Leak: -1}) // fire iff input spike present
+	}
+	if err := ch.Route(i0, 0, Target{Core: i1, Axon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Route(i1, 0, Target{Core: External, Axon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestChipRelayLatency(t *testing.T) {
+	ch := buildRelay(t)
+	ch.Inject(0, 0)
+	// Tick 1: core0 fires, spike in flight to core1.
+	ch.Tick()
+	if got := ch.ExternalCounts()[0]; got != 0 {
+		t.Fatalf("external after 1 tick = %d", got)
+	}
+	// Tick 2: core1 fires, spike delivered to the sink.
+	ch.Tick()
+	if got := ch.ExternalCounts()[0]; got != 1 {
+		t.Fatalf("external after 2 ticks = %d, want 1", got)
+	}
+	// No further spikes without input.
+	ch.Tick()
+	if got := ch.ExternalCounts()[0]; got != 1 {
+		t.Fatalf("spurious spikes: %d", got)
+	}
+	stats := ch.Stats()
+	if stats.Ticks != 3 || stats.Spikes != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestChipPipelining(t *testing.T) {
+	// Two frames injected back to back must both arrive, one tick apart.
+	ch := buildRelay(t)
+	ch.Inject(0, 0)
+	ch.Tick()
+	ch.Inject(0, 0) // second frame while first is in flight
+	ch.Tick()
+	ch.Tick()
+	if got := ch.ExternalCounts()[0]; got != 2 {
+		t.Fatalf("pipelined frames delivered %d spikes, want 2", got)
+	}
+}
+
+func TestChipResetActivity(t *testing.T) {
+	ch := buildRelay(t)
+	ch.Inject(0, 0)
+	ch.Tick()
+	ch.ResetActivity()
+	ch.Tick()
+	ch.Tick()
+	if got := ch.ExternalCounts()[0]; got != 0 {
+		t.Fatalf("activity survived reset: %d", got)
+	}
+	if s := ch.Stats(); s.Ticks != 2 || s.Spikes != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+func TestChipSynEventsAccounting(t *testing.T) {
+	ch := NewChip(3)
+	ch.SetExternalSinks(1)
+	i0, c0, _ := ch.AddCore(2, 2)
+	c0.SetWeights(0, WeightTable{1, 0, 0, 0})
+	c0.SetWeights(1, WeightTable{1, 0, 0, 0})
+	c0.Connect(0, 0, 0)
+	c0.Connect(0, 1, 0)
+	c0.SetNeuron(0, NeuronConfig{Leak: -1})
+	c0.SetNeuron(1, NeuronConfig{Leak: -1})
+	_ = ch.Route(i0, 0, Target{Core: External, Axon: 0})
+	_ = ch.Route(i0, 1, Target{Core: Unrouted})
+	ch.Inject(i0, 0)
+	ch.Tick()
+	s := ch.Stats()
+	if s.SynEvents != 2 {
+		t.Fatalf("SynEvents %d, want 2", s.SynEvents)
+	}
+	if s.SynapticEnergyJoules() <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if got := ch.ExternalCounts()[0]; got != 1 {
+		t.Fatalf("external %d", got)
+	}
+}
+
+func TestChipDeterministicGivenSeed(t *testing.T) {
+	run := func() []int64 {
+		ch := NewChip(42)
+		ch.SetExternalSinks(1)
+		i0, c0, _ := ch.AddCore(1, 4)
+		for j := 0; j < 4; j++ {
+			c0.SetWeights(j, WeightTable{1, 0, 0, 0})
+			c0.Connect(0, j, 0)
+			c0.SetNeuron(j, NeuronConfig{Leak: -1.5}) // stochastic leak: fires ~half the ticks
+			_ = ch.Route(i0, j, Target{Core: External, Axon: 0})
+		}
+		for tick := 0; tick < 50; tick++ {
+			ch.Inject(i0, 0)
+			ch.Tick()
+		}
+		return append([]int64(nil), ch.ExternalCounts()...)
+	}
+	a, b := run(), run()
+	if a[0] != b[0] {
+		t.Fatalf("same seed produced %d vs %d spikes", a[0], b[0])
+	}
+	if a[0] == 0 || a[0] == 200 {
+		t.Fatalf("stochastic leak inactive: %d of 200", a[0])
+	}
+}
+
+func TestStochasticLeakFiringRate(t *testing.T) {
+	// With weight +1 input always active and leak -0.7, the neuron computes
+	// 1 + (-1 + Bernoulli(0.3)) and fires iff the Bernoulli fires... mean 0.3.
+	ch := NewChip(11)
+	ch.SetExternalSinks(1)
+	i0, c0, _ := ch.AddCore(1, 1)
+	c0.SetWeights(0, WeightTable{1, 0, 0, 0})
+	c0.Connect(0, 0, 0)
+	c0.SetNeuron(0, NeuronConfig{Leak: -1.7})
+	_ = ch.Route(i0, 0, Target{Core: External, Axon: 0})
+	const ticks = 100000
+	for i := 0; i < ticks; i++ {
+		ch.Inject(i0, 0)
+		ch.Tick()
+	}
+	rate := float64(ch.ExternalCounts()[0]) / ticks
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("firing rate %v, want 0.3 (leak 1 + frac 0.7 -> fires when +1 drawn)", rate)
+	}
+}
+
+func BenchmarkCoreTick256(b *testing.B) {
+	src := rng.NewPCG32(1, 1)
+	c := NewCore(256, 256, rng.NewPCG32(2, 2))
+	for j := 0; j < 256; j++ {
+		c.SetWeights(j, WeightTable{1, -1, 0, 0})
+		for i := 0; i < 256; i++ {
+			if rng.Bernoulli(src, 0.5) {
+				c.Connect(i, j, rng.Intn(src, 2))
+			}
+		}
+		c.SetNeuron(j, NeuronConfig{Leak: -3})
+	}
+	active := NewBitVec(256)
+	for i := 0; i < 256; i++ {
+		if rng.Bernoulli(src, 0.2) {
+			active.Set(i)
+		}
+	}
+	out := NewBitVec(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(active, out)
+	}
+}
