@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/deploy"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -249,6 +250,70 @@ func BenchmarkDeployFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sn.Frame(fs, x, 1, src, counts)
+	}
+}
+
+// BenchmarkSurfaceEvaluate measures deploy.Surface end-to-end on a 4x2 grid
+// of the bench-1 model — the engine-backed hot path behind Figure 7, Table 2
+// and every Evaluate call.
+func BenchmarkSurfaceEvaluate(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := r.Data(bench)
+	cfg := deploy.EvalConfig{Repeats: 2, Limit: 200, Seed: 5, Sample: deploy.DefaultSampleConfig()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deploy.Surface(m.Net, test, 4, 2, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineClassifyFast measures batched fast-path classification
+// through the shared inference engine (one sampled copy, 1 spf).
+func BenchmarkEngineClassifyFast(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := r.Data(bench)
+	sn := deploy.Sample(m.Net, rng.NewPCG32(1, 1), deploy.DefaultSampleConfig())
+	eng := engine.New(&deploy.FastPredictor{Net: sn}, engine.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Classify(test.X[:200], 1, rng.NewPCG32(uint64(i), 2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineClassifyChip measures the cycle-accurate chip path through
+// the engine: every worker simulates a private 4-core chip.
+func BenchmarkEngineClassifyChip(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := r.Data(bench)
+	sn := deploy.Sample(m.Net, rng.NewPCG32(1, 1), deploy.DefaultSampleConfig())
+	cp, err := deploy.NewChipPredictor([]*deploy.SampledNet{sn}, deploy.MapSigned, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(cp, engine.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Classify(test.X[:50], 1, rng.NewPCG32(uint64(i), 4)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

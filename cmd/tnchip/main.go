@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/rng"
 	"repro/internal/truenorth"
@@ -30,6 +31,7 @@ func main() {
 		spf       = flag.Int("spf", 1, "spikes per frame")
 		copies    = flag.Int("copies", 1, "network copies to place")
 		frames    = flag.Int("frames", 50, "test frames to run through the chip")
+		workers   = flag.Int("workers", 1, "worker goroutines, each simulating a private chip (0 = GOMAXPROCS; stochastic leak draws then depend on worker count, so the default stays single-threaded for bit-reproducible output)")
 		deviation = flag.String("deviation", "", "write a deviation PGM of layer0/core0 and exit")
 	)
 	flag.Parse()
@@ -70,48 +72,37 @@ func main() {
 	r := eval.NewRunner(opt, os.Stderr)
 	_, test := r.Data(b)
 
-	// Place `copies` sampled copies on one chip and stream frames through the
-	// first copy (the remaining copies document occupancy).
+	// Sample `copies` spatial copies and serve them through the shared
+	// inference engine on the cycle-accurate chip path: every worker
+	// simulates a private chip ensemble, and class spike counts sum across
+	// copies before each decision.
 	root := rng.NewPCG32(*seed, 7)
-	var nets []*deploy.ChipNet
-	totalCores := 0
-	for c := 0; c < *copies; c++ {
-		sn := deploy.Sample(m.Net, root.Split(uint64(c)), deploy.DefaultSampleConfig())
-		cn, err := deploy.BuildChip(sn, deploy.MapSigned, *seed+uint64(c))
-		if err != nil {
-			fatal(err)
-		}
-		nets = append(nets, cn)
-		totalCores += cn.Chip.NumCores()
+	nets := make([]*deploy.SampledNet, *copies)
+	for c := range nets {
+		nets[c] = deploy.Sample(m.Net, root.Split(uint64(c)), deploy.DefaultSampleConfig())
+	}
+	cp, err := deploy.NewChipPredictor(nets, deploy.MapSigned, *seed)
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Printf("model %s/%s: %d copies -> %d cores (%.1f%% of one %d-core chip)\n",
-		m.Meta.Bench, m.Meta.Penalty, *copies, totalCores,
-		100*float64(totalCores)/float64(truenorth.ChipCapacity), truenorth.ChipCapacity)
+		m.Meta.Bench, m.Meta.Penalty, *copies, cp.Cores(),
+		100*float64(cp.Cores())/float64(truenorth.ChipCapacity), truenorth.ChipCapacity)
 
 	n := *frames
 	if n > test.Len() {
 		n = test.Len()
 	}
-	correct := 0
-	var stats truenorth.Stats
-	src := rng.NewPCG32(*seed, 9)
-	for i := 0; i < n; i++ {
-		counts := make([]int64, m.Net.Readout.Classes)
-		for _, cn := range nets {
-			c := cn.Frame(test.X[i], *spf, src)
-			for k := range counts {
-				counts[k] += c[k]
-			}
-			s := cn.Chip.Stats()
-			stats.Ticks += s.Ticks
-			stats.Spikes += s.Spikes
-			stats.SynEvents += s.SynEvents
-		}
-		if nets[0].DecideClass(counts) == test.Y[i] {
-			correct++
-		}
+	if n <= 0 {
+		fatal(fmt.Errorf("-frames must be positive (got %d)", *frames))
 	}
-	fmt.Printf("frames: %d  spf: %d  accuracy: %.4f\n", n, *spf, float64(correct)/float64(n))
+	eng := engine.New(cp, engine.Config{Workers: *workers})
+	acc, err := eng.Accuracy(test.X[:n], test.Y[:n], *spf, rng.NewPCG32(*seed, 9))
+	if err != nil {
+		fatal(err)
+	}
+	stats := cp.Stats()
+	fmt.Printf("frames: %d  spf: %d  accuracy: %.4f\n", n, *spf, acc)
 	fmt.Printf("activity: %d ticks, %d spikes, %d synaptic events\n", stats.Ticks, stats.Spikes, stats.SynEvents)
 	fmt.Printf("synaptic energy estimate: %.3g J (26 pJ/event)\n", stats.SynapticEnergyJoules())
 }

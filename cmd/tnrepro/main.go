@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -36,9 +38,20 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupt aborts in-flight engine evaluations instead of hanging until
+	// the current experiment drains. Training phases do not check the
+	// context, so restore default signal handling after the first interrupt:
+	// a second Ctrl-C then kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	opt := eval.Options{
 		Quick: *quick, Seed: *seed, Workers: *workers, OutDir: *outDir,
 		TrainN: *trainN, TestN: *testN, EpochsN: *epochs, RepeatsN: *repeats,
+		Ctx: ctx,
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

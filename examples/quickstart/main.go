@@ -11,7 +11,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/engine"
 	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/synth/digits"
 )
 
@@ -54,7 +56,8 @@ func main() {
 		core.PolarFraction(model.Net, 0.05)*100)
 
 	// 4. Deploy: Bernoulli-sample the synapses and classify with binary
-	// spikes at 1 copy / 1 spf, then with 4 copies.
+	// spikes at 1 copy / 1 spf, then with 4 copies. DeployAccuracy routes
+	// through the shared batched inference engine (internal/engine).
 	for _, copies := range []int{1, 4} {
 		ecfg := deploy.EvalConfig{
 			Copies: copies, SPF: 1, Repeats: 3, Seed: 7,
@@ -68,4 +71,26 @@ func main() {
 		fmt.Printf("deployed accuracy: %.4f +/- %.4f  (%d copies, %d cores)\n",
 			res.Accuracy, res.StdDev, copies, res.Cores)
 	}
+
+	// 5. The same engine serves the cycle-accurate chip path behind the same
+	// Predictor interface: lower one sampled copy onto an explicit
+	// truenorth.Chip and batch-classify a few frames on it.
+	sn := deploy.Sample(model.Net, rng.NewPCG32(7, 1), deploy.DefaultSampleConfig())
+	cp, err := deploy.NewChipPredictor([]*deploy.SampledNet{sn}, deploy.MapSigned, 7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// One worker keeps the demo output machine-independent: stochastic leak
+	// draws come from each worker chip's private PRNG, so parallel chunking
+	// would vary with GOMAXPROCS.
+	eng := engine.New(cp, engine.Config{Workers: 1})
+	acc, err := eng.Accuracy(test.X[:100], test.Y[:100], 1, rng.NewPCG32(7, 2))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stats := cp.Stats()
+	fmt.Printf("chip path: %.0f%% of 100 frames correct on a %d-core chip (%d spikes, %d synaptic events)\n",
+		acc*100, cp.Cores(), stats.Spikes, stats.SynEvents)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/truenorth"
 )
@@ -102,25 +103,12 @@ func (sn *SampledNet) FrameCoded(fs *FrameScratch, x []float64, spf int, coder C
 }
 
 // CodedAccuracy evaluates classification accuracy of a single sampled copy
-// under the given coder — the building block of the coding ablation.
-func CodedAccuracy(sn *SampledNet, inputs [][]float64, labels []int, spf int, coder Coder, seed uint64) float64 {
-	if len(inputs) == 0 {
-		return 0
-	}
-	fs := sn.NewFrameScratch()
-	root := rng.NewPCG32(seed, 3)
-	counts := make([]int64, sn.Classes())
-	correct := 0
-	for i := range inputs {
-		for k := range counts {
-			counts[k] = 0
-		}
-		sn.FrameCoded(fs, inputs[i], spf, coder, root.Split(uint64(i)), counts)
-		if sn.DecideClass(counts) == labels[i] {
-			correct++
-		}
-	}
-	return float64(correct) / float64(len(inputs))
+// under the given coder — the building block of the coding ablation. The
+// batch runs on the shared inference engine; image i draws its spikes from a
+// stream split by index, so the result is identical for any worker count.
+func CodedAccuracy(sn *SampledNet, inputs [][]float64, labels []int, spf int, coder Coder, seed uint64, cfg engine.Config) (float64, error) {
+	eng := engine.New(&FastPredictor{Net: sn, Coder: coder}, cfg)
+	return eng.Accuracy(inputs, labels, spf, rng.NewPCG32(seed, 3))
 }
 
 // SpikeTrain renders the full spf-tick spike pattern a coder produces for

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -185,8 +186,14 @@ func TestCodedAccuracyRateBeatsStochasticOnMidGray(t *testing.T) {
 	sn := Sample(netMid, rng.NewPCG32(31, 1), DefaultSampleConfig())
 	inputs := d.X[:200]
 	labels := d.Y[:200]
-	accStoch := CodedAccuracy(sn, inputs, labels, 3, StochasticCode{}, 7)
-	accRate := CodedAccuracy(sn, inputs, labels, 3, RateCode{}, 7)
+	accStoch, err := CodedAccuracy(sn, inputs, labels, 3, StochasticCode{}, 7, engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accRate, err := CodedAccuracy(sn, inputs, labels, 3, RateCode{}, 7, engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("stochastic %.3f vs rate %.3f", accStoch, accRate)
 	if accRate+0.05 < accStoch {
 		t.Fatalf("rate code (%v) markedly worse than stochastic (%v)", accRate, accStoch)
@@ -215,7 +222,8 @@ func trainedOn(t *testing.T, d *dataset.Dataset) *nn.Network {
 func TestCodedAccuracyEmptyInputs(t *testing.T) {
 	net := singleCoreNet([][]float64{{1}}, []float64{0}, 1)
 	sn := Sample(net, rng.NewPCG32(1, 1), DefaultSampleConfig())
-	if acc := CodedAccuracy(sn, nil, nil, 1, RateCode{}, 1); acc != 0 {
-		t.Fatalf("empty accuracy %v", acc)
+	acc, err := CodedAccuracy(sn, nil, nil, 1, RateCode{}, 1, engine.Config{Workers: 1})
+	if err != nil || acc != 0 {
+		t.Fatalf("empty accuracy %v, err %v", acc, err)
 	}
 }

@@ -1,12 +1,11 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -28,6 +27,8 @@ type EvalConfig struct {
 	Workers int
 	// Sample configures per-copy sampling.
 	Sample SampleConfig
+	// Ctx optionally cancels the evaluation early (nil = never).
+	Ctx context.Context
 }
 
 // DefaultEvalConfig mirrors the paper's measurement protocol.
@@ -35,11 +36,9 @@ func DefaultEvalConfig() EvalConfig {
 	return EvalConfig{Copies: 1, SPF: 1, Repeats: 10, Seed: 1, Sample: DefaultSampleConfig()}
 }
 
-func (c *EvalConfig) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+// engineConfig translates the evaluation limits into an engine pool config.
+func (c *EvalConfig) engineConfig() engine.Config {
+	return engine.Config{Workers: c.Workers, Ctx: c.Ctx}
 }
 
 // Result is a deployment accuracy measurement.
@@ -83,14 +82,13 @@ func (r *SurfaceResult) Cell(copies, spf int) Result {
 	}
 }
 
-// Surface evaluates the whole accuracy grid in a single pass per repeat.
-//
-// The trick making Figure 7 affordable: per test image we keep spike counts
-// per (copy, tick, class); the prediction for the (c, s) grid point is then
-// the argmax of counts summed over the first c copies and first s ticks. One
-// pass therefore prices only the largest grid point while producing every
-// cell, and nested reuse matches how averaging over instantiations works on
-// the physical chip (adding copies/ticks to an existing deployment).
+// Surface evaluates the whole accuracy grid in a single pass per repeat: each
+// repeat samples maxCopies independent network copies, wraps each in a
+// FastPredictor, and hands the ensemble to engine.Grid, which owns the
+// chunked fan-out, the per-image rng stream derivation, and the
+// inclusion-exclusion prefix trick that prices every (copies, spf) cell at
+// the cost of the largest one. Results are bit-identical for any worker
+// count.
 func Surface(net *nn.Network, d *dataset.Dataset, maxCopies, maxSPF int, cfg EvalConfig) (*SurfaceResult, error) {
 	if maxCopies <= 0 || maxSPF <= 0 {
 		return nil, fmt.Errorf("deploy: non-positive surface dims %dx%d", maxCopies, maxSPF)
@@ -112,20 +110,23 @@ func Surface(net *nn.Network, d *dataset.Dataset, maxCopies, maxSPF int, cfg Eva
 
 	inputs := padInputs(net, d, n)
 	res := &SurfaceResult{MaxCopies: maxCopies, MaxSPF: maxSPF, CoresPerCopy: net.NumCores()}
-	res.Mean = newGrid(maxCopies, maxSPF)
-	res.Std = newGrid(maxCopies, maxSPF)
+	res.Mean = engine.NewGrid(maxCopies, maxSPF)
+	res.Std = engine.NewGrid(maxCopies, maxSPF)
 	accs := make([][][]float64, repeats) // [repeat][copies][spf]
 
 	root := rng.NewPCG32(cfg.Seed, 11)
 	for rep := 0; rep < repeats; rep++ {
 		// Independent copies for this repeat.
 		repSrc := root.Split(uint64(rep))
-		copies := make([]*SampledNet, maxCopies)
-		for c := range copies {
-			copies[c] = Sample(net, repSrc.Split(uint64(c)), cfg.Sample)
+		preds := make([]engine.TickPredictor, maxCopies)
+		for c := range preds {
+			preds[c] = &FastPredictor{Net: Sample(net, repSrc.Split(uint64(c)), cfg.Sample)}
 		}
-		correct := evaluateSurfaceOnce(copies, inputs, d.Y[:n], maxCopies, maxSPF, repSrc.Split(1<<32), cfg.workers())
-		grid := newGrid(maxCopies, maxSPF)
+		correct, err := engine.Grid(preds, inputs, d.Y[:n], maxSPF, repSrc.Split(1<<32), cfg.engineConfig())
+		if err != nil {
+			return nil, fmt.Errorf("deploy: surface repeat %d: %w", rep, err)
+		}
+		grid := engine.NewGrid(maxCopies, maxSPF)
 		for c := 0; c < maxCopies; c++ {
 			for s := 0; s < maxSPF; s++ {
 				grid[c][s] = float64(correct[c][s]) / float64(n)
@@ -133,137 +134,16 @@ func Surface(net *nn.Network, d *dataset.Dataset, maxCopies, maxSPF int, cfg Eva
 		}
 		accs[rep] = grid
 	}
+	samples := make([]float64, repeats)
 	for c := 0; c < maxCopies; c++ {
 		for s := 0; s < maxSPF; s++ {
-			mean := 0.0
 			for rep := range accs {
-				mean += accs[rep][c][s]
+				samples[rep] = accs[rep][c][s]
 			}
-			mean /= float64(repeats)
-			variance := 0.0
-			for rep := range accs {
-				dv := accs[rep][c][s] - mean
-				variance += dv * dv
-			}
-			res.Mean[c][s] = mean
-			res.Std[c][s] = sqrt(variance / float64(repeats))
+			res.Mean[c][s], res.Std[c][s] = engine.MeanStd(samples)
 		}
 	}
 	return res, nil
-}
-
-// evaluateSurfaceOnce runs one repeat and returns correct-prediction counts
-// per (copies, spf) cell.
-func evaluateSurfaceOnce(copies []*SampledNet, inputs [][]float64, labels []int, maxCopies, maxSPF int, imgRoot *rng.PCG32, workers int) [][]int64 {
-	n := len(inputs)
-	classes := copies[0].Classes()
-	correct := make([][]int64, maxCopies)
-	for c := range correct {
-		correct[c] = make([]int64, maxSPF)
-	}
-	// Per-image streams keyed by index so results are scheduling-independent.
-	streams := make([]*rng.PCG32, n)
-	for i := range streams {
-		streams[i] = imgRoot.Split(uint64(i))
-	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			scratches := make([]*FrameScratch, len(copies))
-			for c := range copies {
-				scratches[c] = copies[c].NewFrameScratch()
-			}
-			// counts[copy][tick][class] spike tallies for one image.
-			counts := make([][][]int64, maxCopies)
-			for c := range counts {
-				counts[c] = make([][]int64, maxSPF)
-				for s := range counts[c] {
-					counts[c][s] = make([]int64, classes)
-				}
-			}
-			local := make([][]int64, maxCopies)
-			for c := range local {
-				local[c] = make([]int64, maxSPF)
-			}
-			// prefix[c][s][k] = sum of counts over copies 0..c and ticks 0..s.
-			prefix := make([][][]int64, maxCopies)
-			for c := range prefix {
-				prefix[c] = make([][]int64, maxSPF)
-				for s := range prefix[c] {
-					prefix[c][s] = make([]int64, classes)
-				}
-			}
-			for i := lo; i < hi; i++ {
-				src := streams[i]
-				for c := range copies {
-					for s := 0; s < maxSPF; s++ {
-						for k := range counts[c][s] {
-							counts[c][s][k] = 0
-						}
-						copies[c].EncodeInput(scratches[c], inputs[i], src)
-						copies[c].Tick(scratches[c], src, counts[c][s])
-					}
-				}
-				// 2-D inclusion-exclusion prefix over (copies, ticks).
-				for c := 0; c < maxCopies; c++ {
-					for s := 0; s < maxSPF; s++ {
-						for k := 0; k < classes; k++ {
-							v := counts[c][s][k]
-							if c > 0 {
-								v += prefix[c-1][s][k]
-							}
-							if s > 0 {
-								v += prefix[c][s-1][k]
-							}
-							if c > 0 && s > 0 {
-								v -= prefix[c-1][s-1][k]
-							}
-							prefix[c][s][k] = v
-						}
-						if copies[0].DecideClass(prefix[c][s]) == labels[i] {
-							local[c][s]++
-						}
-					}
-				}
-			}
-			mu.Lock()
-			for c := 0; c < maxCopies; c++ {
-				for s := 0; s < maxSPF; s++ {
-					correct[c][s] += local[c][s]
-				}
-			}
-			mu.Unlock()
-		}(lo, hi)
-	}
-	wg.Wait()
-	return correct
-}
-
-func newGrid(rows, cols int) [][]float64 {
-	g := make([][]float64, rows)
-	for i := range g {
-		g[i] = make([]float64, cols)
-	}
-	return g
-}
-
-func sqrt(v float64) float64 {
-	if v <= 0 {
-		return 0
-	}
-	return math.Sqrt(v)
 }
 
 // padInputs zero-extends features to the network input width.

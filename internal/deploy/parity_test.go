@@ -1,0 +1,233 @@
+package deploy
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// goldenFixture builds the deterministic fixed-weight network and dataset
+// whose pre-refactor Surface values are pinned below.
+func goldenFixture() (*dataset.Dataset, [][]float64, []float64) {
+	src := rng.NewPCG32(1234, 1)
+	const inputs, neurons = 24, 12
+	w := make([][]float64, neurons)
+	bias := make([]float64, neurons)
+	for j := range w {
+		w[j] = make([]float64, inputs)
+		for i := range w[j] {
+			w[j][i] = rng.Float64(src)*1.6 - 0.8
+		}
+		bias[j] = rng.Float64(src)*2 - 1
+	}
+	const n = 40
+	d := &dataset.Dataset{Name: "golden", FeatDim: inputs, NumClasses: 3,
+		X: make([][]float64, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, inputs)
+		for k := range x {
+			x[k] = rng.Float64(src)
+		}
+		d.X[i] = x
+		d.Y[i] = i % 3
+	}
+	return d, w, bias
+}
+
+// TestSurfaceGoldenParity pins the engine-backed Surface to values captured
+// from the pre-refactor goroutine fan-out (same seed, same fixture). Any
+// change to the rng stream derivation, the copy/tick evaluation order, or
+// the mean/std reduction breaks these exact comparisons.
+func TestSurfaceGoldenParity(t *testing.T) {
+	d, w, bias := goldenFixture()
+	net := singleCoreNet(w, bias, 3)
+	cfg := DefaultEvalConfig()
+	cfg.Repeats = 3
+	cfg.Seed = 42
+	cfg.Workers = 4
+	surf, err := Surface(net, d, 3, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenMean := [3][3]float64{
+		{0.32500000000000001, 0.34166666666666662, 0.33333333333333331},
+		{0.375, 0.35000000000000003, 0.34166666666666662},
+		{0.33333333333333331, 0.33333333333333331, 0.35000000000000003},
+	}
+	goldenStd := [3][3]float64{
+		{0.040824829046386291, 0.047140452079103161, 0.031180478223116183},
+		{0, 0.035355339059327383, 0.051370116691408133},
+		{0.011785113019775776, 0.011785113019775776, 0.020412414523193145},
+	}
+	for c := 0; c < 3; c++ {
+		for s := 0; s < 3; s++ {
+			if surf.Mean[c][s] != goldenMean[c][s] {
+				t.Errorf("mean[%d][%d] = %.17g, golden %.17g", c, s, surf.Mean[c][s], goldenMean[c][s])
+			}
+			if surf.Std[c][s] != goldenStd[c][s] {
+				t.Errorf("std[%d][%d] = %.17g, golden %.17g", c, s, surf.Std[c][s], goldenStd[c][s])
+			}
+		}
+	}
+}
+
+// TestSurfaceWorkerCountInvariance: the engine derives per-image streams by
+// index before fan-out, so the surface must be bit-identical for any worker
+// count.
+func TestSurfaceWorkerCountInvariance(t *testing.T) {
+	d, w, bias := goldenFixture()
+	net := singleCoreNet(w, bias, 3)
+	var ref *SurfaceResult
+	for _, workers := range []int{1, 3, 8} {
+		cfg := DefaultEvalConfig()
+		cfg.Repeats = 2
+		cfg.Seed = 77
+		cfg.Workers = workers
+		surf, err := Surface(net, d, 2, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = surf
+			continue
+		}
+		for c := range surf.Mean {
+			for s := range surf.Mean[c] {
+				if surf.Mean[c][s] != ref.Mean[c][s] || surf.Std[c][s] != ref.Std[c][s] {
+					t.Fatalf("workers=%d diverges at (%d,%d)", workers, c, s)
+				}
+			}
+		}
+	}
+}
+
+// TestCodedAccuracyMatchesSerialReference: the engine-backed CodedAccuracy
+// must equal a hand-rolled serial loop over FrameCoded with the same stream
+// derivation, for any worker count.
+func TestCodedAccuracyMatchesSerialReference(t *testing.T) {
+	d, w, bias := goldenFixture()
+	net := singleCoreNet(w, bias, 3)
+	sn := Sample(net, rng.NewPCG32(2, 2), DefaultSampleConfig())
+	for _, coder := range []Coder{StochasticCode{}, RateCode{}, BurstCode{}} {
+		// Serial reference: the pre-refactor loop.
+		fs := sn.NewFrameScratch()
+		root := rng.NewPCG32(5, 3)
+		counts := make([]int64, sn.Classes())
+		correct := 0
+		for i := range d.X {
+			for k := range counts {
+				counts[k] = 0
+			}
+			sn.FrameCoded(fs, d.X[i], 4, coder, root.Split(uint64(i)), counts)
+			if sn.DecideClass(counts) == d.Y[i] {
+				correct++
+			}
+		}
+		want := float64(correct) / float64(len(d.X))
+		for _, workers := range []int{1, 4} {
+			got, err := CodedAccuracy(sn, d.X, d.Y, 4, coder, 5, engine.Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s workers=%d: engine %v vs serial %v", coder.Name(), workers, got, want)
+			}
+		}
+	}
+}
+
+// TestFastAndChipPredictorsAgree drives both execution paths through the
+// shared engine on a fixture where every draw is deterministic (integer
+// leaks, binary inputs): per-item predictions must match exactly, on any
+// worker count.
+func TestFastAndChipPredictorsAgree(t *testing.T) {
+	net := integerBiasNet(8, 16, 2, 33)
+	sn := Sample(net, rng.NewPCG32(34, 34), DefaultSampleConfig())
+	const n = 60
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = binaryInput(16, uint64(100+i))
+	}
+	fast := engine.New(&FastPredictor{Net: sn}, engine.Config{Workers: 4})
+	fastPreds, err := fast.Classify(inputs, 3, rng.NewPCG32(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewChipPredictor([]*SampledNet{sn}, MapSigned, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		chip := engine.New(cp, engine.Config{Workers: workers})
+		chipPreds, err := chip.Classify(inputs, 3, rng.NewPCG32(9, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fastPreds {
+			if fastPreds[i] != chipPreds[i] {
+				t.Fatalf("workers=%d item %d: fast %d vs chip %d", workers, i, fastPreds[i], chipPreds[i])
+			}
+		}
+	}
+	if cp.Stats().Ticks == 0 {
+		t.Fatal("chip predictor recorded no activity")
+	}
+	if cp.Cores() != sn.NumCores() {
+		t.Fatalf("chip cores %d vs sampled %d", cp.Cores(), sn.NumCores())
+	}
+}
+
+// TestChipPredictorEnsembleSumsCopies: a two-copy ensemble must decide from
+// summed counts, matching a manual sum over per-copy chip frames.
+func TestChipPredictorEnsembleSumsCopies(t *testing.T) {
+	net := integerBiasNet(6, 12, 2, 40)
+	root := rng.NewPCG32(41, 41)
+	sns := []*SampledNet{
+		Sample(net, root.Split(0), DefaultSampleConfig()),
+		Sample(net, root.Split(1), DefaultSampleConfig()),
+	}
+	cp, err := NewChipPredictor(sns, MapSigned, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := binaryInput(12, 43)
+	scratch := cp.NewScratch()
+	counts := make([]int64, 2)
+	cp.Frame(scratch, x, 2, rng.NewPCG32(44, 44), counts)
+
+	want := make([]int64, 2)
+	for c, sn := range sns {
+		cn, err := BuildChip(sn, MapSigned, 42+uint64(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cn.Frame(x, 2, rng.NewPCG32(44, 44))
+		for k := range want {
+			want[k] += got[k]
+		}
+	}
+	for k := range want {
+		if counts[k] != want[k] {
+			t.Fatalf("class %d: ensemble %d vs manual sum %d", k, counts[k], want[k])
+		}
+	}
+}
+
+// TestSurfaceCancellation: a pre-canceled context must abort the evaluation
+// with the context's error.
+func TestSurfaceCancellation(t *testing.T) {
+	d, w, bias := goldenFixture()
+	net := singleCoreNet(w, bias, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultEvalConfig()
+	cfg.Repeats = 2
+	cfg.Seed = 1
+	cfg.Ctx = ctx
+	if _, err := Surface(net, d, 2, 2, cfg); err == nil {
+		t.Fatal("canceled surface returned no error")
+	}
+}

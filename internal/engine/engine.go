@@ -1,0 +1,204 @@
+// Package engine is the unified batched inference engine of the repository:
+// every parallel evaluation fan-out — the Monte-Carlo deployment surfaces of
+// the paper's Figure 7, ablation accuracy sweeps, and cycle-accurate chip
+// runs — routes through the worker pool implemented here.
+//
+// The engine owns three concerns its callers used to hand-roll:
+//
+//   - chunked fan-out: items are partitioned into one contiguous chunk per
+//     worker, bounding goroutine count independently of batch size;
+//   - deterministic randomness: every item receives a private rng.PCG32
+//     stream split from the caller's root by item index before the fan-out
+//     starts, so results are bit-identical regardless of worker count or
+//     goroutine scheduling;
+//   - scratch reuse: per-worker mutable state (spike buffers, count grids,
+//     whole simulated chips) is created once per worker and, for the
+//     Predictor-level APIs, recycled across batches through a sync.Pool.
+//
+// Execution paths plug in through the Predictor interface: the bit-parallel
+// fast path (deploy.FastPredictor over a SampledNet) and the cycle-accurate
+// chip path (deploy.ChipPredictor over truenorth.Chip) are the two current
+// implementations, and any future backend that can classify one frame behind
+// this contract inherits batching, determinism and cancellation for free.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Scratch is opaque per-worker mutable state owned by a Predictor
+// implementation (spike buffers for the fast path, a private simulated chip
+// for the chip path). The engine never inspects it; it only guarantees that a
+// Scratch is used by one worker at a time.
+type Scratch = any
+
+// Predictor is the per-frame inference contract both execution paths
+// implement. Implementations must be safe for concurrent use as long as each
+// goroutine works on its own Scratch.
+type Predictor interface {
+	// Classes returns the readout width (length of every counts slice).
+	Classes() int
+	// NewScratch allocates the per-worker state Frame needs.
+	NewScratch() Scratch
+	// Frame classifies input x with spf temporal samples, accumulating
+	// final-layer class spike counts into counts (length Classes). src drives
+	// every stochastic draw of the frame.
+	Frame(s Scratch, x []float64, spf int, src rng.Source, counts []int64)
+	// Decide converts accumulated class spike counts into a prediction.
+	Decide(counts []int64) int
+}
+
+// TickPredictor is implemented by predictors that can expose one temporal
+// sample at a time — the EncodeAndTick contract Grid needs to price a whole
+// (copies x spf) accuracy surface in a single pass per image.
+type TickPredictor interface {
+	Predictor
+	// EncodeAndTick encodes tick (0-based) of an spf-tick frame of x and
+	// advances the network one tick, accumulating emitted class spikes into
+	// counts.
+	EncodeAndTick(s Scratch, x []float64, tick, spf int, src rng.Source, counts []int64)
+}
+
+// Config bounds a batched run.
+type Config struct {
+	// Workers caps pool size (0 = GOMAXPROCS).
+	Workers int
+	// Ctx optionally cancels the run early (nil = never). Cancellation is
+	// checked between items; a canceled run returns ctx.Err() and its partial
+	// results must be discarded.
+	Ctx context.Context
+}
+
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// Run is the engine's fan-out primitive: it executes body(state, i, src) for
+// every item i in [0, n), where state is worker-local (created by newState
+// once per worker) and src is the item's private stream. Streams are derived
+// serially from root by item index before any goroutine starts, so a body
+// that draws randomness only from src produces scheduling-independent
+// results. After a worker drains its chunk, merge(state) runs under the
+// engine's lock (pass nil when no reduction is needed).
+func Run[S any](cfg Config, n int, root *rng.PCG32, newState func() S, body func(state S, item int, src *rng.PCG32), merge func(S)) error {
+	if n <= 0 {
+		return nil
+	}
+	ctx := cfg.context()
+	streams := make([]*rng.PCG32, n)
+	for i := range streams {
+		streams[i] = root.Split(uint64(i))
+	}
+	workers := cfg.workerCount()
+	chunk := (n + workers - 1) / workers
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			state := newState()
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				body(state, i, streams[i])
+			}
+			if merge != nil {
+				mu.Lock()
+				merge(state)
+				mu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Engine binds a Predictor to a worker pool and a scratch pool for repeated
+// batched inference. Scratches are recycled across calls, so a long-lived
+// Engine amortizes per-worker allocation (frame buffers, simulated chips)
+// over its whole lifetime.
+type Engine struct {
+	p       Predictor
+	cfg     Config
+	scratch sync.Pool
+}
+
+// New returns an Engine serving p under cfg.
+func New(p Predictor, cfg Config) *Engine {
+	e := &Engine{p: p, cfg: cfg}
+	e.scratch.New = func() any { return p.NewScratch() }
+	return e
+}
+
+// Predictor returns the predictor this engine serves.
+func (e *Engine) Predictor() Predictor { return e.p }
+
+// Classify returns the predicted class of every input, using spf temporal
+// samples per frame. Item i draws all randomness from root.Split(i), so
+// predictions are deterministic given root and independent of worker count.
+func (e *Engine) Classify(inputs [][]float64, spf int, root *rng.PCG32) ([]int, error) {
+	out := make([]int, len(inputs))
+	type state struct {
+		scratch Scratch
+		counts  []int64
+	}
+	err := Run(e.cfg, len(inputs), root,
+		func() *state {
+			return &state{scratch: e.scratch.Get(), counts: make([]int64, e.p.Classes())}
+		},
+		func(s *state, i int, src *rng.PCG32) {
+			for k := range s.counts {
+				s.counts[k] = 0
+			}
+			e.p.Frame(s.scratch, inputs[i], spf, src, s.counts)
+			out[i] = e.p.Decide(s.counts)
+		},
+		func(s *state) { e.scratch.Put(s.scratch) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Accuracy classifies every input and returns the fraction matching labels.
+func (e *Engine) Accuracy(inputs [][]float64, labels []int, spf int, root *rng.PCG32) (float64, error) {
+	if len(inputs) == 0 {
+		return 0, nil
+	}
+	if len(inputs) != len(labels) {
+		return 0, fmt.Errorf("engine: %d inputs vs %d labels", len(inputs), len(labels))
+	}
+	preds, err := e.Classify(inputs, spf, root)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(inputs)), nil
+}

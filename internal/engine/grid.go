@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Grid evaluates the (copies x spf) correct-prediction count grid that makes
+// the paper's Figure 7 affordable: ps[c] is the predictor for network copy c,
+// and per item the engine keeps spike counts per (copy, tick, class). The
+// prediction for grid point (c, s) is then the argmax of counts summed over
+// the first c+1 copies and first s+1 ticks — a 2-D inclusion-exclusion prefix
+// — so one pass prices only the largest grid point while producing every
+// cell. The nested reuse matches how averaging works on the physical chip:
+// adding copies or ticks extends an existing deployment.
+//
+// The returned grid is correct[c][s] = number of items whose (c+1 copies,
+// s+1 ticks) prediction matches labels. All predictors must share one readout
+// width; decisions use ps[0].Decide.
+func Grid(ps []TickPredictor, inputs [][]float64, labels []int, maxSPF int, root *rng.PCG32, cfg Config) ([][]int64, error) {
+	if len(ps) == 0 || maxSPF <= 0 {
+		return nil, fmt.Errorf("engine: empty grid %dx%d", len(ps), maxSPF)
+	}
+	if len(inputs) != len(labels) {
+		return nil, fmt.Errorf("engine: %d inputs vs %d labels", len(inputs), len(labels))
+	}
+	copies := len(ps)
+	classes := ps[0].Classes()
+	for c, p := range ps {
+		if p.Classes() != classes {
+			return nil, fmt.Errorf("engine: copy %d has %d classes, copy 0 has %d", c, p.Classes(), classes)
+		}
+	}
+	correct := make([][]int64, copies)
+	for c := range correct {
+		correct[c] = make([]int64, maxSPF)
+	}
+
+	type state struct {
+		scratches []Scratch
+		// counts[c][s][k] holds one item's spike tallies per (copy, tick).
+		counts [][][]int64
+		// prefix[c][s][k] = counts summed over copies 0..c and ticks 0..s.
+		prefix [][][]int64
+		// local[c][s] accumulates this worker's correct predictions.
+		local [][]int64
+	}
+	newCube := func() [][][]int64 {
+		cube := make([][][]int64, copies)
+		for c := range cube {
+			cube[c] = make([][]int64, maxSPF)
+			for s := range cube[c] {
+				cube[c][s] = make([]int64, classes)
+			}
+		}
+		return cube
+	}
+	err := Run(cfg, len(inputs), root,
+		func() *state {
+			st := &state{
+				scratches: make([]Scratch, copies),
+				counts:    newCube(),
+				prefix:    newCube(),
+				local:     make([][]int64, copies),
+			}
+			for c := range ps {
+				st.scratches[c] = ps[c].NewScratch()
+			}
+			for c := range st.local {
+				st.local[c] = make([]int64, maxSPF)
+			}
+			return st
+		},
+		func(st *state, i int, src *rng.PCG32) {
+			for c := range ps {
+				for s := 0; s < maxSPF; s++ {
+					for k := range st.counts[c][s] {
+						st.counts[c][s][k] = 0
+					}
+					ps[c].EncodeAndTick(st.scratches[c], inputs[i], s, maxSPF, src, st.counts[c][s])
+				}
+			}
+			for c := 0; c < copies; c++ {
+				for s := 0; s < maxSPF; s++ {
+					for k := 0; k < classes; k++ {
+						v := st.counts[c][s][k]
+						if c > 0 {
+							v += st.prefix[c-1][s][k]
+						}
+						if s > 0 {
+							v += st.prefix[c][s-1][k]
+						}
+						if c > 0 && s > 0 {
+							v -= st.prefix[c-1][s-1][k]
+						}
+						st.prefix[c][s][k] = v
+					}
+					if ps[0].Decide(st.prefix[c][s]) == labels[i] {
+						st.local[c][s]++
+					}
+				}
+			}
+		},
+		func(st *state) {
+			for c := 0; c < copies; c++ {
+				for s := 0; s < maxSPF; s++ {
+					correct[c][s] += st.local[c][s]
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return correct, nil
+}

@@ -1,0 +1,37 @@
+package engine
+
+import "math"
+
+// NewGrid allocates a rows x cols float64 grid.
+func NewGrid(rows, cols int) [][]float64 {
+	g := make([][]float64, rows)
+	for i := range g {
+		g[i] = make([]float64, cols)
+	}
+	return g
+}
+
+// MeanStd returns the mean and population standard deviation of samples.
+// Floating-point cancellation can drive the computed variance a hair below
+// zero; it is clamped here, the single place deployment statistics are
+// reduced.
+func MeanStd(samples []float64) (mean, std float64) {
+	n := float64(len(samples))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= n
+	variance := 0.0
+	for _, v := range samples {
+		dv := v - mean
+		variance += dv * dv
+	}
+	variance /= n
+	if variance <= 0 {
+		return mean, 0
+	}
+	return mean, math.Sqrt(variance)
+}

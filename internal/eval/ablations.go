@@ -2,6 +2,7 @@ package eval
 
 import (
 	"repro/internal/deploy"
+	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -35,9 +36,8 @@ func AblationSigma(r *Runner) ([]AblationRow, error) {
 		if _, err := nn.Train(net, train, cfg); err != nil {
 			return nil, err
 		}
-		ecfg := deploy.EvalConfig{Repeats: r.Opt.Repeats(), Limit: r.Opt.EvalLimit(),
-			Seed: r.Opt.Seed + 32, Workers: r.Opt.Workers, Sample: deploy.DefaultSampleConfig(),
-			Copies: 1, SPF: 1}
+		ecfg := r.EvalConfig(r.Opt.Seed + 32)
+		ecfg.Copies, ecfg.SPF = 1, 1
 		res, err := deploy.Evaluate(net, test, ecfg)
 		if err != nil {
 			return nil, err
@@ -67,10 +67,9 @@ func AblationLeak(r *Runner) ([]AblationRow, error) {
 	}
 	var rows []AblationRow
 	for _, stoch := range []bool{true, false} {
-		ecfg := deploy.EvalConfig{Repeats: r.Opt.Repeats(), Limit: r.Opt.EvalLimit(),
-			Seed: r.Opt.Seed + 33, Workers: r.Opt.Workers,
-			Sample: deploy.SampleConfig{StochasticLeak: stoch},
-			Copies: 1, SPF: 1}
+		ecfg := r.EvalConfig(r.Opt.Seed + 33)
+		ecfg.Copies, ecfg.SPF = 1, 1
+		ecfg.Sample = deploy.SampleConfig{StochasticLeak: stoch}
 		res, err := deploy.Evaluate(m.Net, test, ecfg)
 		if err != nil {
 			return nil, err
@@ -110,9 +109,8 @@ func AblationPenaltyShape(r *Runner) ([]AblationRow, error) {
 		if _, err := nn.Train(net, train, cfg); err != nil {
 			return nil, err
 		}
-		ecfg := deploy.EvalConfig{Repeats: r.Opt.Repeats(), Limit: r.Opt.EvalLimit(),
-			Seed: r.Opt.Seed + 42, Workers: r.Opt.Workers, Sample: deploy.DefaultSampleConfig(),
-			Copies: 1, SPF: 1}
+		ecfg := r.EvalConfig(r.Opt.Seed + 42)
+		ecfg.Copies, ecfg.SPF = 1, 1
 		res, err := deploy.Evaluate(net, test, ecfg)
 		if err != nil {
 			return nil, err
@@ -235,7 +233,11 @@ func AblationCoding(r *Runner) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		acc := deploy.CodedAccuracy(sn, inputs, test.Y[:limit], 2, coder, r.Opt.Seed+62)
+		acc, err := deploy.CodedAccuracy(sn, inputs, test.Y[:limit], 2, coder, r.Opt.Seed+62,
+			engine.Config{Workers: r.Opt.Workers, Ctx: r.Opt.Ctx})
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, AblationRow{Name: name, FloatAcc: m.Meta.FloatAccuracy, Deployed: acc})
 	}
 	return rows, nil
@@ -259,9 +261,8 @@ func AblationContinuity(r *Runner) ([]AblationRow, error) {
 		if _, err := nn.Train(net, train, cfg); err != nil {
 			return nil, err
 		}
-		ecfg := deploy.EvalConfig{Repeats: r.Opt.Repeats(), Limit: r.Opt.EvalLimit(),
-			Seed: r.Opt.Seed + 72, Workers: r.Opt.Workers, Sample: deploy.DefaultSampleConfig(),
-			Copies: 1, SPF: 1}
+		ecfg := r.EvalConfig(r.Opt.Seed + 72)
+		ecfg.Copies, ecfg.SPF = 1, 1
 		res, err := deploy.Evaluate(net, test, ecfg)
 		if err != nil {
 			return nil, err

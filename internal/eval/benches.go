@@ -4,6 +4,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/nn"
@@ -100,6 +101,9 @@ type Options struct {
 	// TrainN, TestN, EpochsN and RepeatsN, when positive, override the
 	// Quick/full defaults (used by unit tests and custom CLI runs).
 	TrainN, TestN, EpochsN, RepeatsN int
+	// Ctx, when non-nil, cancels in-flight deployment evaluations (the
+	// engine checks it between frames).
+	Ctx context.Context
 }
 
 // DefaultOptions runs the full paper protocol.

@@ -90,6 +90,21 @@ func (r *Runner) Model(b Bench, penalty string) (*core.Model, error) {
 	return m, nil
 }
 
+// EvalConfig assembles the deployment evaluation configuration every
+// experiment shares — repeats, sample limit, worker cap and cancellation
+// context from the options — seeded as given. Callers override Copies, SPF
+// or Sample as their measurement requires.
+func (r *Runner) EvalConfig(seed uint64) deploy.EvalConfig {
+	return deploy.EvalConfig{
+		Repeats: r.Opt.Repeats(),
+		Limit:   r.Opt.EvalLimit(),
+		Seed:    seed,
+		Workers: r.Opt.Workers,
+		Sample:  deploy.DefaultSampleConfig(),
+		Ctx:     r.Opt.Ctx,
+	}
+}
+
 // Surface measures (with caching left to the caller) the deployment accuracy
 // grid for a bench/penalty pair.
 func (r *Runner) Surface(b Bench, penalty string, maxCopies, maxSPF int) (*deploy.SurfaceResult, error) {
@@ -98,13 +113,7 @@ func (r *Runner) Surface(b Bench, penalty string, maxCopies, maxSPF int) (*deplo
 		return nil, err
 	}
 	_, test := r.Data(b)
-	cfg := deploy.EvalConfig{
-		Repeats: r.Opt.Repeats(),
-		Limit:   r.Opt.EvalLimit(),
-		Seed:    r.Opt.Seed + 1000 + uint64(b.ID),
-		Workers: r.Opt.Workers,
-		Sample:  deploy.DefaultSampleConfig(),
-	}
+	cfg := r.EvalConfig(r.Opt.Seed + 1000 + uint64(b.ID))
 	start := time.Now()
 	surf, err := deploy.Surface(m.Net, test, maxCopies, maxSPF, cfg)
 	if err != nil {
