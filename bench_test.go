@@ -247,6 +247,7 @@ func BenchmarkDeployFrame(b *testing.B) {
 	counts := make([]int64, 10)
 	x := make([]float64, 28*28)
 	copy(x, test.X[0])
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sn.Frame(fs, x, 1, src, counts)
@@ -265,6 +266,7 @@ func BenchmarkSurfaceEvaluate(b *testing.B) {
 	}
 	_, test := r.Data(bench)
 	cfg := deploy.EvalConfig{Repeats: 2, Limit: 200, Seed: 5, Sample: deploy.DefaultSampleConfig()}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := deploy.Surface(m.Net, test, 4, 2, cfg); err != nil {
@@ -285,6 +287,7 @@ func BenchmarkEngineClassifyFast(b *testing.B) {
 	_, test := r.Data(bench)
 	sn := deploy.Sample(m.Net, rng.NewPCG32(1, 1), deploy.DefaultSampleConfig())
 	eng := engine.New(&deploy.FastPredictor{Net: sn}, engine.Config{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Classify(test.X[:200], 1, rng.NewPCG32(uint64(i), 2)); err != nil {
@@ -309,10 +312,57 @@ func BenchmarkEngineClassifyChip(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng := engine.New(cp, engine.Config{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Classify(test.X[:50], 1, rng.NewPCG32(uint64(i), 4)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleCopy measures copy-sampling throughput from a precompiled
+// QuantPlan — the repeats*copies inner loop of every deployment surface.
+func BenchmarkSampleCopy(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := deploy.CompileQuant(m.Net)
+	src := rng.NewPCG32(3, 3)
+	cfg := deploy.DefaultSampleConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sn := plan.Sample(src, cfg); sn.NumCores() == 0 {
+			b.Fatal("empty copy")
+		}
+	}
+}
+
+// BenchmarkEncodeInput measures input spike encoding of one 4-tick frame:
+// tick 0 compiles the per-frame threshold plan, ticks 1-3 replay it.
+func BenchmarkEncodeInput(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := r.Data(bench)
+	sn := deploy.Sample(m.Net, rng.NewPCG32(1, 1), deploy.DefaultSampleConfig())
+	fs := sn.NewFrameScratch()
+	src := rng.NewPCG32(2, 2)
+	x := make([]float64, 28*28)
+	copy(x, test.X[0])
+	const spf = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < spf; t++ {
+			sn.EncodeFrameTick(fs, x, t, spf, src)
 		}
 	}
 }
@@ -329,6 +379,7 @@ func BenchmarkTrainingStep(b *testing.B) {
 	}
 	sub := train.Subset(32)
 	cfg := nn.TrainConfig{Epochs: 1, Batch: 32, LR: 0.1, Momentum: 0.9, Seed: 1, Workers: 8}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := nn.Train(net, sub, cfg); err != nil {

@@ -77,9 +77,10 @@ func main() {
 	// simulates a private chip ensemble, and class spike counts sum across
 	// copies before each decision.
 	root := rng.NewPCG32(*seed, 7)
+	plan := deploy.CompileQuant(m.Net)
 	nets := make([]*deploy.SampledNet, *copies)
 	for c := range nets {
-		nets[c] = deploy.Sample(m.Net, root.Split(uint64(c)), deploy.DefaultSampleConfig())
+		nets[c] = plan.Sample(root.Split(uint64(c)), deploy.DefaultSampleConfig())
 	}
 	cp, err := deploy.NewChipPredictor(nets, deploy.MapSigned, *seed)
 	if err != nil {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,19 +26,56 @@ import (
 )
 
 func main() {
+	// All work happens in run so its defers — CPU profile flush, heap
+	// profile write — execute on error paths too; os.Exit here would skip
+	// them if called any deeper.
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
-		expFlag = flag.String("exp", "all", "experiment id (comma separated) or 'all'")
-		quick   = flag.Bool("quick", false, "smoke scale: small datasets, few epochs/repeats")
-		seed    = flag.Uint64("seed", 20160605, "master seed")
-		workers = flag.Int("workers", 0, "goroutine cap (0 = GOMAXPROCS)")
-		outDir  = flag.String("out", "", "directory for CSV/PGM artifacts (optional)")
-		trainN  = flag.Int("train", 0, "override train set size")
-		testN   = flag.Int("test", 0, "override test set size")
-		epochs  = flag.Int("epochs", 0, "override training epochs")
-		repeats = flag.Int("repeats", 0, "override deployment repeats")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		expFlag    = flag.String("exp", "all", "experiment id (comma separated) or 'all'")
+		quick      = flag.Bool("quick", false, "smoke scale: small datasets, few epochs/repeats")
+		seed       = flag.Uint64("seed", 20160605, "master seed")
+		workers    = flag.Int("workers", 0, "goroutine cap (0 = GOMAXPROCS)")
+		outDir     = flag.String("out", "", "directory for CSV/PGM artifacts (optional)")
+		trainN     = flag.Int("train", 0, "override train set size")
+		testN      = flag.Int("test", 0, "override test set size")
+		epochs     = flag.Int("epochs", 0, "override training epochs")
+		repeats    = flag.Int("repeats", 0, "override deployment repeats")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			// A failed heap-profile write must fail the process, not just
+			// print: overwrite the named return as the stack unwinds.
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				code = fail(fmt.Errorf("memprofile: %w", err))
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				code = fail(fmt.Errorf("memprofile: %w", err))
+			}
+		}()
+	}
 
 	// Interrupt aborts in-flight engine evaluations instead of hanging until
 	// the current experiment drains. Training phases do not check the
@@ -55,7 +94,7 @@ func main() {
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	var log *os.File
@@ -84,12 +123,13 @@ func main() {
 	}
 	for _, id := range ids {
 		if err := runExperiment(r, strings.TrimSpace(id), getFig7, opt); err != nil {
-			fatal(fmt.Errorf("experiment %s: %w", id, err))
+			return fail(fmt.Errorf("experiment %s: %w", id, err))
 		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "total elapsed: %v\n", time.Since(start).Round(time.Second))
 	}
+	return 0
 }
 
 func runExperiment(r *eval.Runner, id string, getFig7 func() (*eval.Fig7Result, error), opt eval.Options) error {
@@ -205,7 +245,9 @@ func runExperiment(r *eval.Runner, id string, getFig7 func() (*eval.Fig7Result, 
 	return nil
 }
 
-func fatal(err error) {
+// fail reports err and returns the process exit code, leaving deferred
+// cleanup (profile flushes) to run as the stack unwinds.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "tnrepro:", err)
-	os.Exit(1)
+	return 1
 }

@@ -71,11 +71,11 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 	type dest struct{ core, axon int }
 	fanout := make([][][]dest, len(sn.layers))
 	for li, l := range sn.layers {
-		fanout[li] = make([][]dest, l.outDim)
+		fanout[li] = make([][]dest, l.plan.outDim)
 	}
 	for li := 1; li < len(sn.layers); li++ {
 		for ci, c := range sn.layers[li].cores {
-			for a, idx := range c.in {
+			for a, idx := range c.plan.in {
 				fanout[li-1][idx] = append(fanout[li-1][idx], dest{core: ci, axon: a})
 			}
 		}
@@ -91,7 +91,7 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 		last := li == len(sn.layers)-1
 		outBase := 0
 		for ci, c := range l.cores {
-			axons := len(c.in)
+			axons := len(c.plan.in)
 			if mapping == MapDualAxon {
 				axons *= 2
 			}
@@ -101,12 +101,12 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 				target  truenorth.Target
 			}
 			var slots []slot
-			for j := 0; j < c.neurons; j++ {
+			for j := 0; j < c.plan.neurons; j++ {
 				g := outBase + j
 				switch {
 				case last:
 					slots = append(slots, slot{j, truenorth.Target{Core: truenorth.External, Axon: sn.classOf[g]}})
-				case j < c.exports && len(fanout[li][g]) > 0:
+				case j < c.plan.exports && len(fanout[li][g]) > 0:
 					for _, d := range fanout[li][g] {
 						slots = append(slots, slot{j, truenorth.Target{Core: coreIdx[li+1][d.core], Axon: d.axon}})
 					}
@@ -134,20 +134,20 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 				}
 			}
 			if mapping == MapDualAxon {
-				for a := range c.in {
+				for a := range c.plan.in {
 					core.SetAxonType(2*a, 0)
 					core.SetAxonType(2*a+1, 1)
 				}
 			}
-			outBase += c.exports
+			outBase += c.plan.exports
 		}
 	}
 
 	// Input injection map.
 	in0 := sn.layers[0]
-	cn.inputTargets = make([][]truenorth.Target, in0.inDim)
+	cn.inputTargets = make([][]truenorth.Target, in0.plan.inDim)
 	for ci, c := range in0.cores {
-		for a, idx := range c.in {
+		for a, idx := range c.plan.in {
 			axon := a
 			if mapping == MapDualAxon {
 				axon = 2 * a
@@ -162,20 +162,20 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 // logical neuron j.
 func configureNeuron(core *truenorth.Core, sn *SampledNet, c *sampledCore, mapping Mapping, pj, j int) {
 	core.SetWeights(pj, truenorth.WeightTable{sn.cmax, -sn.cmax, 0, 0})
-	leak := c.leak[j]
+	leak := c.plan.leak[j]
 	if !c.stoch {
-		leak = float64(c.intLeak[j])
+		leak = float64(c.plan.intLeak[j])
 	}
 	core.SetNeuron(pj, truenorth.NeuronConfig{Leak: leak})
-	for a := range c.in {
-		if c.plus[j].Get(a) {
+	for a := range c.plan.in {
+		if c.plusRow(j).Get(a) {
 			if mapping == MapDualAxon {
 				core.Connect(2*a, pj, 0)
 			} else {
 				core.Connect(a, pj, 0)
 			}
 		}
-		if c.minus[j].Get(a) {
+		if c.minusRow(j).Get(a) {
 			if mapping == MapDualAxon {
 				core.Connect(2*a+1, pj, 1)
 			} else {

@@ -68,13 +68,13 @@ func TestSampleRespectsDeterministicPoles(t *testing.T) {
 	for seed := uint64(0); seed < 20; seed++ {
 		sn := Sample(net, rng.NewPCG32(seed, 1), DefaultSampleConfig())
 		c := sn.layers[0].cores[0]
-		if !c.plus[0].Get(0) || !c.minus[0].Get(1) || !c.plus[0].Get(3) {
+		if !c.plusRow(0).Get(0) || !c.minusRow(0).Get(1) || !c.plusRow(0).Get(3) {
 			t.Fatal("p=1 synapse missing")
 		}
-		if c.plus[0].Get(2) || c.minus[0].Get(2) {
+		if c.plusRow(0).Get(2) || c.minusRow(0).Get(2) {
 			t.Fatal("p=0 synapse present")
 		}
-		if !c.minus[1].Get(2) {
+		if !c.minusRow(1).Get(2) {
 			t.Fatal("neuron 1 synapse missing")
 		}
 	}
@@ -94,7 +94,7 @@ func TestSamplePlusMinusDisjoint(t *testing.T) {
 	c := sn.layers[0].cores[0]
 	for j := 0; j < 4; j++ {
 		for i := 0; i < 16; i++ {
-			if c.plus[j].Get(i) && c.minus[j].Get(i) {
+			if c.plusRow(j).Get(i) && c.minusRow(j).Get(i) {
 				t.Fatalf("synapse (%d,%d) both signs", i, j)
 			}
 		}
@@ -113,7 +113,7 @@ func TestSampleConnectionFrequencyMatchesProbability(t *testing.T) {
 		sn := Sample(net, root.Split(uint64(c)), DefaultSampleConfig())
 		sc := sn.layers[0].cores[0]
 		for i := 0; i < 4; i++ {
-			if sc.plus[0].Get(i) || sc.minus[0].Get(i) {
+			if sc.plusRow(0).Get(i) || sc.minusRow(0).Get(i) {
 				hits[i]++
 			}
 		}
@@ -138,9 +138,9 @@ func TestSampledExpectationMatchesEq7(t *testing.T) {
 		sn := Sample(net, root.Split(uint64(c)), DefaultSampleConfig())
 		sc := sn.layers[0].cores[0]
 		for i := 0; i < 2; i++ {
-			if sc.plus[0].Get(i) {
+			if sc.plusRow(0).Get(i) {
 				sum[i]++
-			} else if sc.minus[0].Get(i) {
+			} else if sc.minusRow(0).Get(i) {
 				sum[i]--
 			}
 		}

@@ -114,13 +114,16 @@ func Surface(net *nn.Network, d *dataset.Dataset, maxCopies, maxSPF int, cfg Eva
 	res.Std = engine.NewGrid(maxCopies, maxSPF)
 	accs := make([][][]float64, repeats) // [repeat][copies][spf]
 
+	// One compile amortizes weight quantization over all repeats*maxCopies
+	// sampled copies; the draw sequence is unchanged.
+	plan := CompileQuant(net)
 	root := rng.NewPCG32(cfg.Seed, 11)
 	for rep := 0; rep < repeats; rep++ {
 		// Independent copies for this repeat.
 		repSrc := root.Split(uint64(rep))
 		preds := make([]engine.TickPredictor, maxCopies)
 		for c := range preds {
-			preds[c] = &FastPredictor{Net: Sample(net, repSrc.Split(uint64(c)), cfg.Sample)}
+			preds[c] = &FastPredictor{Net: plan.Sample(repSrc.Split(uint64(c)), cfg.Sample)}
 		}
 		correct, err := engine.Grid(preds, inputs, d.Y[:n], maxSPF, repSrc.Split(1<<32), cfg.engineConfig())
 		if err != nil {

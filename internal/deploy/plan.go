@@ -1,0 +1,258 @@
+package deploy
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/truenorth"
+)
+
+// QuantPlan is the compiled fixed-point deployment program of one trained
+// network. Compilation hoists every per-draw float operation of the
+// model-to-chip pipeline out of the hot loops:
+//
+//   - synapse sampling: each trained weight's Bernoulli probability p = |w|/CMax
+//     (Eq. 7) is pre-quantized into the uint32 threshold p*2^32 that
+//     rng.Bernoulli compares against, with its sign packed alongside, so
+//     drawing a network copy is a threshold-compare-and-set loop with zero
+//     float operations;
+//   - the fire rule: the per-tick membrane test CMax*(plus-minus)+leak >= 0 is
+//     rewritten as an integer popcount-difference threshold, precomputed for
+//     both realizations of the stochastic fractional leak (and for the
+//     rounded-leak ablation), together with the fractional draw's own uint32
+//     threshold;
+//   - axon staging: each core's axon map is compiled into word-level BlitRuns
+//     (truenorth.CompileGather), so cores reading contiguous input windows
+//     gather whole words instead of probing 256 individual bits.
+//
+// Every precomputed threshold is the same float64 expression the reference
+// path evaluated per draw, and draws are consumed in the same order, so a
+// compiled network is bit-identical to the uncompiled one on every rng
+// stream — the golden parity and randomized cross-check tests pin this.
+//
+// The plan depends only on the trained network, never on sampling draws:
+// compile once, then call Sample repeats*copies times.
+type QuantPlan struct {
+	cmax    int32
+	classes int
+	classOf []int
+	classN  []int
+	layers  []*planLayer
+}
+
+// planLayer mirrors one CoreLayer of the trained network.
+type planLayer struct {
+	inDim  int
+	outDim int
+	cores  []*planCore
+}
+
+// planCore is the compiled, draw-independent program of one trained core.
+// Synapse entries are stored neuron-major in flat arrays (offset-indexed) so
+// the sampling loop walks contiguous memory.
+type planCore struct {
+	in      []int
+	neurons int
+	exports int
+
+	// Stochastic synapses (0 < p < 1), in the reference draw order: entry k
+	// consumes one rng draw and connects when draw < synThr[k].
+	synOff []int32 // len neurons+1; neuron j owns [synOff[j], synOff[j+1])
+	synThr []uint32
+	synEnc []int32 // axon<<1 | 1 for +CMax, axon<<1 for -CMax
+	// Saturated synapses (p >= 1): always connected, consume no draw.
+	fixOff []int32
+	fixEnc []int32
+
+	// Deployed leak (trained bias), kept for chip lowering and diagnostics.
+	leak    []float64
+	intLeak []int32
+	// Fire rule: neuron j spikes when the popcount difference
+	// d = |plus AND axons| - |minus AND axons| reaches the threshold for its
+	// realized leak. hasFrac marks neurons whose stochastic leak consumes one
+	// draw per tick (fractional bias); the draw picks thrHi (leak rounded up)
+	// below fracThr and thrLo (floor) otherwise. thrDet is the rounded-leak
+	// ablation's deterministic threshold.
+	hasFrac []bool
+	anyFrac bool
+	fracThr []uint32
+	thrLo   []int32
+	thrHi   []int32
+	thrDet  []int32
+
+	// Word-level axon staging program.
+	gather []truenorth.BlitRun
+}
+
+// CompileQuant compiles net into its fixed-point deployment plan.
+func CompileQuant(net *nn.Network) *QuantPlan {
+	cmax := net.CMax
+	qp := &QuantPlan{cmax: int32(math.Round(cmax))}
+	if qp.cmax < 1 {
+		qp.cmax = 1
+	}
+	for _, l := range net.Layers {
+		pl := &planLayer{inDim: l.InDim}
+		for _, c := range l.Cores {
+			n := c.Neurons()
+			// Count entries per category first so the flat arrays allocate
+			// exactly once.
+			nSyn, nFix := 0, 0
+			for j := 0; j < n; j++ {
+				for _, w := range c.W.Row(j) {
+					switch p, _ := Quantize(w, cmax); {
+					case p <= 0:
+					case p >= 1:
+						nFix++
+					default:
+						nSyn++
+					}
+				}
+			}
+			pc := &planCore{
+				in:      c.In,
+				neurons: n,
+				exports: c.Exports,
+				synOff:  make([]int32, n+1),
+				synThr:  make([]uint32, 0, nSyn),
+				synEnc:  make([]int32, 0, nSyn),
+				fixOff:  make([]int32, n+1),
+				fixEnc:  make([]int32, 0, nFix),
+				leak:    make([]float64, n),
+				intLeak: make([]int32, n),
+				hasFrac: make([]bool, n),
+				fracThr: make([]uint32, n),
+				thrLo:   make([]int32, n),
+				thrHi:   make([]int32, n),
+				thrDet:  make([]int32, n),
+				gather:  truenorth.CompileGather(c.In),
+			}
+			for j := 0; j < n; j++ {
+				row := c.W.Row(j)
+				for i := range row {
+					p, positive := Quantize(row[i], cmax)
+					enc := int32(i) << 1
+					if positive {
+						enc |= 1
+					}
+					switch {
+					case p <= 0:
+						// Never connected; the reference consumed no draw.
+					case p >= 1:
+						pc.fixEnc = append(pc.fixEnc, enc)
+					default:
+						pc.synThr = append(pc.synThr, uint32(p*(1<<32)))
+						pc.synEnc = append(pc.synEnc, enc)
+					}
+				}
+				pc.synOff[j+1] = int32(len(pc.synThr))
+				pc.fixOff[j+1] = int32(len(pc.fixEnc))
+
+				bias := c.Bias[j]
+				pc.leak[j] = bias
+				pc.intLeak[j] = int32(math.Round(bias))
+				fl := math.Floor(bias)
+				lo := int32(fl)
+				if frac := bias - fl; frac > 0 {
+					pc.hasFrac[j] = true
+					pc.anyFrac = true
+					pc.fracThr[j] = uint32(frac * (1 << 32))
+				}
+				pc.thrLo[j] = fireThreshold(lo, qp.cmax)
+				pc.thrHi[j] = fireThreshold(lo+1, qp.cmax)
+				pc.thrDet[j] = fireThreshold(pc.intLeak[j], qp.cmax)
+			}
+			pl.cores = append(pl.cores, pc)
+			pl.outDim += pc.exports
+		}
+		qp.layers = append(qp.layers, pl)
+	}
+	ro := net.Readout
+	qp.classes = ro.Classes
+	last := qp.layers[len(qp.layers)-1]
+	qp.classOf = make([]int, last.outDim)
+	qp.classN = make([]int, ro.Classes)
+	for g := 0; g < last.outDim; g++ {
+		k := ro.Assignment(g)
+		qp.classOf[g] = k
+		qp.classN[k]++
+	}
+	return qp
+}
+
+// fireThreshold returns the smallest popcount difference d satisfying
+// cmax*d + leak >= 0, i.e. ceil(-leak/cmax). Go's integer division truncates
+// toward zero, which already equals the ceiling for non-positive numerators;
+// positive numerators with a remainder adjust upward.
+func fireThreshold(leak, cmax int32) int32 {
+	a := -leak
+	q := a / cmax
+	if a%cmax > 0 {
+		q++
+	}
+	return q
+}
+
+// NumCores returns the per-copy core count of the compiled network.
+func (qp *QuantPlan) NumCores() int {
+	n := 0
+	for _, l := range qp.layers {
+		n += len(l.cores)
+	}
+	return n
+}
+
+// Classes returns the readout width.
+func (qp *QuantPlan) Classes() int { return qp.classes }
+
+// Sample draws one network copy from the compiled plan using src: for every
+// stochastic synapse entry, one uint32 draw against its precompiled
+// threshold. The draw sequence is identical to sampling the uncompiled
+// network, so copies are interchangeable with the pre-compile path
+// bit-for-bit.
+func (qp *QuantPlan) Sample(src *rng.PCG32, cfg SampleConfig) *SampledNet {
+	sn := &SampledNet{
+		plan:    qp,
+		cmax:    qp.cmax,
+		classes: qp.classes,
+		classOf: qp.classOf,
+		classN:  qp.classN,
+	}
+	for _, pl := range qp.layers {
+		sl := &sampledLayer{plan: pl}
+		for _, pc := range pl.cores {
+			words := (len(pc.in) + 63) / 64
+			sc := &sampledCore{
+				plan:  pc,
+				stoch: cfg.StochasticLeak,
+				words: words,
+				masks: make([]uint64, 2*words*pc.neurons),
+			}
+			for j := 0; j < pc.neurons; j++ {
+				plus := sc.plusRow(j)
+				minus := sc.minusRow(j)
+				for k := pc.synOff[j]; k < pc.synOff[j+1]; k++ {
+					if src.Uint32() >= pc.synThr[k] {
+						continue
+					}
+					if e := pc.synEnc[k]; e&1 != 0 {
+						plus.Set(int(e >> 1))
+					} else {
+						minus.Set(int(e >> 1))
+					}
+				}
+				for k := pc.fixOff[j]; k < pc.fixOff[j+1]; k++ {
+					if e := pc.fixEnc[k]; e&1 != 0 {
+						plus.Set(int(e >> 1))
+					} else {
+						minus.Set(int(e >> 1))
+					}
+				}
+			}
+			sl.cores = append(sl.cores, sc)
+		}
+		sn.layers = append(sn.layers, sl)
+	}
+	return sn
+}

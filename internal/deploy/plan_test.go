@@ -1,0 +1,385 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/truenorth"
+)
+
+// This file cross-checks the compiled fixed-point path (QuantPlan sampling,
+// integer fire rule, word-blit gather, planned input encoding) against
+// straight reimplementations of the pre-compile reference semantics, on a
+// population of randomized networks — beyond the fixed goldens in
+// parity_test.go. Every comparison is bit-exact, including the generator
+// states after each phase, which pins the draw *count* as well as the draw
+// consumers.
+
+// refCore is the pre-compile sampled core: float leaks, per-neuron bit masks.
+type refCore struct {
+	in          []int
+	neurons     int
+	exports     int
+	plus, minus []truenorth.BitVec
+	leak        []float64
+	intLeak     []int32
+	stoch       bool
+}
+
+type refLayer struct {
+	cores []*refCore
+	inDim int
+	out   int
+}
+
+type refNet struct {
+	layers  []*refLayer
+	cmax    int32
+	classOf []int
+	classN  []int
+}
+
+// refSample is the pre-compile deploy.Sample: per-weight float quantization
+// and rng.Bernoulli draws inline.
+func refSample(net *nn.Network, src *rng.PCG32, cfg SampleConfig) *refNet {
+	cmax := net.CMax
+	rn := &refNet{cmax: int32(math.Round(cmax))}
+	if rn.cmax < 1 {
+		rn.cmax = 1
+	}
+	for _, l := range net.Layers {
+		rl := &refLayer{inDim: l.InDim}
+		for _, c := range l.Cores {
+			rc := &refCore{
+				in:      c.In,
+				neurons: c.Neurons(),
+				exports: c.Exports,
+				leak:    make([]float64, c.Neurons()),
+				intLeak: make([]int32, c.Neurons()),
+				stoch:   cfg.StochasticLeak,
+			}
+			axons := len(c.In)
+			rc.plus = make([]truenorth.BitVec, c.Neurons())
+			rc.minus = make([]truenorth.BitVec, c.Neurons())
+			for j := 0; j < c.Neurons(); j++ {
+				rc.plus[j] = truenorth.NewBitVec(axons)
+				rc.minus[j] = truenorth.NewBitVec(axons)
+				row := c.W.Row(j)
+				for i := range row {
+					p, positive := Quantize(row[i], cmax)
+					if !rng.Bernoulli(src, p) {
+						continue
+					}
+					if positive {
+						rc.plus[j].Set(i)
+					} else {
+						rc.minus[j].Set(i)
+					}
+				}
+				rc.leak[j] = c.Bias[j]
+				rc.intLeak[j] = int32(math.Round(c.Bias[j]))
+			}
+			rl.cores = append(rl.cores, rc)
+			rl.out += c.Exports
+		}
+		rn.layers = append(rn.layers, rl)
+	}
+	ro := net.Readout
+	last := rn.layers[len(rn.layers)-1]
+	rn.classOf = make([]int, last.out)
+	rn.classN = make([]int, ro.Classes)
+	for g := 0; g < last.out; g++ {
+		k := ro.Assignment(g)
+		rn.classOf[g] = k
+		rn.classN[k]++
+	}
+	return rn
+}
+
+// refLeakDraw is the pre-compile float leak realization.
+func (rc *refCore) refLeakDraw(j int, src rng.Source) int32 {
+	if !rc.stoch {
+		return rc.intLeak[j]
+	}
+	fl := math.Floor(rc.leak[j])
+	l := int32(fl)
+	if frac := rc.leak[j] - fl; frac > 0 && rng.Bernoulli(src, frac) {
+		l++
+	}
+	return l
+}
+
+// refFrame is the pre-compile Frame: per-pixel Bernoulli encode + float
+// membrane tick, bit-addressed axon gather.
+func (rn *refNet) refFrame(x []float64, spf int, src rng.Source, classCounts []int64) {
+	input := truenorth.NewBitVec(rn.layers[0].inDim)
+	var layerIO []truenorth.BitVec
+	for _, l := range rn.layers {
+		layerIO = append(layerIO, truenorth.NewBitVec(l.out))
+	}
+	for t := 0; t < spf; t++ {
+		input.Zero()
+		for i, v := range x {
+			if rng.Bernoulli(src, v) {
+				input.Set(i)
+			}
+		}
+		in := input
+		for li, l := range rn.layers {
+			out := layerIO[li]
+			out.Zero()
+			outBase := 0
+			for _, c := range l.cores {
+				local := truenorth.NewBitVec(len(c.in))
+				for a, idx := range c.in {
+					if in.Get(idx) {
+						local.Set(a)
+					}
+				}
+				last := li == len(rn.layers)-1
+				for j := 0; j < c.neurons; j++ {
+					v := rn.cmax*int32(truenorth.AndPopcount(local, c.plus[j])-truenorth.AndPopcount(local, c.minus[j])) + c.refLeakDraw(j, src)
+					if v < 0 {
+						continue
+					}
+					if j < c.exports {
+						out.Set(outBase + j)
+					}
+					if last {
+						classCounts[rn.classOf[outBase+j]]++
+					}
+				}
+				outBase += c.exports
+			}
+			in = out
+		}
+	}
+}
+
+// randomNet builds a random 1-2 layer core network exercising every compile
+// category: zero, saturated (|w| >= CMax) and stochastic weights; integer and
+// fractional biases; contiguous, strided and shuffled axon maps.
+func randomNet(src *rng.PCG32) *nn.Network {
+	cmax := float64(1 + rng.Intn(src, 4))
+	inDim := 8 + rng.Intn(src, 33)
+	numLayers := 1 + rng.Intn(src, 2)
+	net := &nn.Network{CMax: cmax, SigmaFloor: 1e-3}
+	dim := inDim
+	for li := 0; li < numLayers; li++ {
+		l := &nn.CoreLayer{InDim: dim}
+		numCores := 1 + rng.Intn(src, 3)
+		for ci := 0; ci < numCores; ci++ {
+			axons := 1 + rng.Intn(src, dim)
+			var in []int
+			switch rng.Intn(src, 3) {
+			case 0: // contiguous window
+				start := rng.Intn(src, dim-axons+1)
+				for a := 0; a < axons; a++ {
+					in = append(in, start+a)
+				}
+			case 1: // strided
+				stride := 1 + rng.Intn(src, 3)
+				for a := 0; a < axons; a++ {
+					in = append(in, (a*stride)%dim)
+				}
+			default: // shuffled prefix
+				perm := rng.Perm(src, dim)
+				in = perm[:axons]
+			}
+			neurons := 2 + rng.Intn(src, 19)
+			exports := 1 + rng.Intn(src, neurons)
+			if li == numLayers-1 {
+				// Final-layer cores merge every neuron into the readout
+				// (builder invariant the tick loop relies on).
+				exports = neurons
+			}
+			w := tensor.New(neurons, axons)
+			for k := range w.Data {
+				switch rng.Intn(src, 6) {
+				case 0:
+					w.Data[k] = 0
+				case 1: // saturated
+					w.Data[k] = (rng.Float64(src)*2 - 1) * 3 * cmax
+				default:
+					w.Data[k] = (rng.Float64(src)*2 - 1) * cmax
+				}
+			}
+			bias := make([]float64, neurons)
+			for j := range bias {
+				if rng.Intn(src, 3) == 0 {
+					bias[j] = float64(rng.Intn(src, 7) - 3) // integer
+				} else {
+					bias[j] = rng.Float64(src)*6 - 3 // fractional
+				}
+			}
+			l.Cores = append(l.Cores, &nn.CoreSpec{In: in, W: w, Bias: bias, Exports: exports})
+		}
+		net.Layers = append(net.Layers, l)
+		dim = l.OutDim()
+	}
+	classes := 2 + rng.Intn(src, 3)
+	net.Readout = nn.NewMergeReadout(dim, classes, 1)
+	return net
+}
+
+// TestCompiledPathMatchesReferenceRandomized: across ~50 random networks and
+// seeds, the compiled plan must reproduce the reference Sample draw
+// (connectivity masks and generator state) and the reference Frame outputs
+// (class counts and generator state) bit-identically, for stochastic and
+// rounded leak, spf 1 and 3.
+func TestCompiledPathMatchesReferenceRandomized(t *testing.T) {
+	meta := rng.NewPCG32(20260728, 1)
+	for trial := 0; trial < 50; trial++ {
+		net := randomNet(meta)
+		cfg := SampleConfig{StochasticLeak: trial%2 == 0}
+
+		sampleSrc := rng.NewPCG32(uint64(1000+trial), 5)
+		refSrc := *sampleSrc
+		sn := Sample(net, sampleSrc, cfg)
+		rn := refSample(net, &refSrc, cfg)
+		if *sampleSrc != refSrc {
+			t.Fatalf("trial %d: sample draw streams diverged", trial)
+		}
+		for li, l := range sn.layers {
+			for ci, c := range l.cores {
+				rc := rn.layers[li].cores[ci]
+				for j := 0; j < c.plan.neurons; j++ {
+					for a := range rc.in {
+						if c.plusRow(j).Get(a) != rc.plus[j].Get(a) || c.minusRow(j).Get(a) != rc.minus[j].Get(a) {
+							t.Fatalf("trial %d: layer %d core %d neuron %d axon %d mask mismatch", trial, li, ci, j, a)
+						}
+					}
+				}
+			}
+		}
+
+		fs := sn.NewFrameScratch()
+		for _, spf := range []int{1, 3} {
+			x := make([]float64, net.Layers[0].InDim)
+			for i := range x {
+				switch rng.Intn(meta, 4) {
+				case 0:
+					x[i] = 0
+				case 1:
+					x[i] = 1 + rng.Float64(meta) // saturated
+				default:
+					x[i] = rng.Float64(meta)
+				}
+			}
+			frameSrc := rng.NewPCG32(uint64(2000+trial), uint64(spf))
+			refFrameSrc := *frameSrc
+			got := make([]int64, sn.Classes())
+			want := make([]int64, sn.Classes())
+			sn.Frame(fs, x, spf, frameSrc, got)
+			rn.refFrame(x, spf, &refFrameSrc, want)
+			if *frameSrc != refFrameSrc {
+				t.Fatalf("trial %d spf %d: frame draw streams diverged", trial, spf)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d spf %d: class %d counts %d vs reference %d", trial, spf, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestFireThreshold pins the integer fire rule against the float membrane
+// test over the full leak/cmax/popcount-difference range.
+func TestFireThreshold(t *testing.T) {
+	for cmax := int32(1); cmax <= 5; cmax++ {
+		for leak := int32(-20); leak <= 20; leak++ {
+			thr := fireThreshold(leak, cmax)
+			for d := int32(-10); d <= 10; d++ {
+				want := cmax*d+leak >= 0
+				if got := d >= thr; got != want {
+					t.Fatalf("cmax=%d leak=%d d=%d: threshold rule %v, membrane %v", cmax, leak, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantPlanSampleMatchesConvenienceWrapper: the one-shot Sample wrapper
+// and an explicitly compiled plan must draw identical copies.
+func TestQuantPlanSampleMatchesConvenienceWrapper(t *testing.T) {
+	meta := rng.NewPCG32(99, 9)
+	net := randomNet(meta)
+	plan := CompileQuant(net)
+	a := Sample(net, rng.NewPCG32(4, 4), DefaultSampleConfig())
+	b := plan.Sample(rng.NewPCG32(4, 4), DefaultSampleConfig())
+	if plan.NumCores() != a.NumCores() || plan.Classes() != a.Classes() {
+		t.Fatal("plan metadata diverges from sampled copy")
+	}
+	for li, l := range a.layers {
+		for ci, c := range l.cores {
+			cb := b.layers[li].cores[ci]
+			for w := range c.masks {
+				if c.masks[w] != cb.masks[w] {
+					t.Fatalf("layer %d core %d word %d differs", li, ci, w)
+				}
+			}
+		}
+	}
+}
+
+// TestChipPredictorFracLeakScheduleInvariance: with fractional stochastic
+// leak, chips are reseeded per item from the item stream, so batched chip
+// predictions and activity stats must be bit-identical for any worker count
+// (and any work-stealing schedule).
+func TestChipPredictorFracLeakScheduleInvariance(t *testing.T) {
+	meta := rng.NewPCG32(123, 3)
+	w := make([][]float64, 8)
+	for j := range w {
+		w[j] = make([]float64, 12)
+		for i := range w[j] {
+			w[j][i] = rng.Float64(meta)*2 - 1
+		}
+	}
+	bias := make([]float64, 8)
+	for j := range bias {
+		bias[j] = rng.Float64(meta)*2 - 1 // fractional: leak draws active
+	}
+	net := singleCoreNet(w, bias, 2)
+	sn := Sample(net, rng.NewPCG32(8, 8), DefaultSampleConfig())
+	if !sn.usesLeakRandomness() {
+		t.Fatal("fixture must exercise stochastic fractional leak")
+	}
+	inputs := make([][]float64, 40)
+	for i := range inputs {
+		x := make([]float64, 12)
+		for k := range x {
+			x[k] = rng.Float64(meta)
+		}
+		inputs[i] = x
+	}
+	var ref []int
+	var refSpikes int64
+	for trial, workers := range []int{1, 4, 4} {
+		cp, err := NewChipPredictor([]*SampledNet{sn}, MapSigned, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(cp, engine.Config{Workers: workers})
+		preds, err := eng.Classify(inputs, 2, rng.NewPCG32(6, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refSpikes = preds, cp.Stats().Spikes
+			continue
+		}
+		for i := range preds {
+			if preds[i] != ref[i] {
+				t.Fatalf("trial %d workers=%d: item %d pred %d vs reference %d", trial, workers, i, preds[i], ref[i])
+			}
+		}
+		if got := cp.Stats().Spikes; got != refSpikes {
+			t.Fatalf("trial %d workers=%d: %d spikes vs reference %d", trial, workers, got, refSpikes)
+		}
+	}
+}

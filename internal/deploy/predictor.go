@@ -29,11 +29,13 @@ func (p *FastPredictor) Classes() int { return p.Net.Classes() }
 func (p *FastPredictor) NewScratch() engine.Scratch { return p.Net.NewFrameScratch() }
 
 // EncodeAndTick implements engine.TickPredictor: one temporal sample — encode
-// tick t of an spf-tick frame, then advance the copy one tick.
+// tick t of an spf-tick frame, then advance the copy one tick. Tick 0
+// compiles the frame's input-encoding plan into the scratch; later ticks
+// replay it.
 func (p *FastPredictor) EncodeAndTick(s engine.Scratch, x []float64, tick, spf int, src rng.Source, counts []int64) {
 	fs := s.(*FrameScratch)
 	if p.Coder == nil {
-		p.Net.EncodeInput(fs, x, src)
+		p.Net.EncodeFrameTick(fs, x, tick, spf, src)
 	} else {
 		p.Net.EncodeInputCoded(fs, x, tick, spf, p.Coder, src)
 	}
@@ -57,16 +59,21 @@ func (p *FastPredictor) Decide(counts []int64) int { return p.Net.DecideClass(co
 //
 // The simulated chip is stateful, so each worker scratch is a privately built
 // set of ChipNets — batched evaluation parallelizes without sharing mutable
-// cores. Spike-level results stay deterministic given the item streams except
-// for stochastic fractional leak, which draws from each chip's private PRNG
-// and therefore depends on which items a worker processes; with integer
-// leaks the chip consumes no private randomness and predictions are
-// bit-identical for any worker count.
+// cores. Spike-level results are deterministic given the item streams: when
+// an ensemble uses stochastic fractional leak, every copy's chip is reseeded
+// from the item stream at the start of each frame (two draws per copy), so
+// leak randomness no longer depends on which items a worker happened to
+// process — predictions are bit-identical for any worker count and schedule,
+// including the engine's work-stealing fan-out. Integer-leak ensembles
+// consume no leak randomness and take no reseed draws.
 type ChipPredictor struct {
 	nets    []*SampledNet
 	mapping Mapping
 	seed    uint64
 	cores   int
+	// leaky records whether any copy draws per-tick leak randomness; only
+	// then are chips reseeded per item.
+	leaky bool
 	// first holds the validation build so the first scratch costs nothing
 	// extra.
 	first atomic.Pointer[[]*ChipNet]
@@ -84,6 +91,12 @@ func NewChipPredictor(nets []*SampledNet, mapping Mapping, seed uint64) (*ChipPr
 		return nil, fmt.Errorf("deploy: chip predictor needs at least one sampled copy")
 	}
 	p := &ChipPredictor{nets: nets, mapping: mapping, seed: seed}
+	for _, sn := range nets {
+		if sn.usesLeakRandomness() {
+			p.leaky = true
+			break
+		}
+	}
 	built, err := p.build()
 	if err != nil {
 		return nil, err
@@ -130,6 +143,9 @@ func (p *ChipPredictor) NewScratch() engine.Scratch {
 // sum class counts. Activity statistics accumulate on the predictor.
 func (p *ChipPredictor) Frame(s engine.Scratch, x []float64, spf int, src rng.Source, counts []int64) {
 	for _, cn := range s.([]*ChipNet) {
+		if p.leaky {
+			cn.Chip.Reseed(uint64(src.Uint32())<<32 | uint64(src.Uint32()))
+		}
 		c := cn.Frame(x, spf, src)
 		for k := range counts {
 			counts[k] += c[k]

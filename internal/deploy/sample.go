@@ -13,6 +13,11 @@
 //   - the chip path (BuildChip): a full truenorth.Chip with explicit spike
 //     routing, neuron duplication for fan-out, and per-tick transport latency.
 //
+// The fast path is compiled: CompileQuant lowers a trained network into a
+// QuantPlan of fixed-point thresholds and word-blit gather programs once, and
+// sampling, input encoding and the per-neuron fire rule all run integer-only
+// against that plan while consuming rng draws in exactly the reference order.
+//
 // All Monte-Carlo draws are derived from explicit seeds, so every experiment
 // in the paper reproduction is replayable.
 package deploy
@@ -37,33 +42,47 @@ type SampleConfig struct {
 // DefaultSampleConfig returns the paper-faithful settings.
 func DefaultSampleConfig() SampleConfig { return SampleConfig{StochasticLeak: true} }
 
-// sampledCore is one deployed neuro-synaptic core of one network copy.
+// sampledCore is one deployed neuro-synaptic core of one network copy: the
+// realized synapse draw (plus/minus connectivity masks over the core-local
+// axon index space) plus a reference to the shared compiled core program.
 type sampledCore struct {
-	in      []int // layer-input indices feeding the axons, in axon order
-	neurons int
-	exports int
-	// plus and minus are per-neuron connectivity masks over the core's local
-	// axon index space: synapses whose integer weight is +CMax and -CMax.
-	plus, minus []truenorth.BitVec
-	// leak is the per-neuron deployed leak (trained bias).
-	leak []float64
-	// intLeak is the pre-rounded leak used when stochastic leak is disabled.
-	intLeak []int32
-	stoch   bool
+	plan  *planCore
+	stoch bool
+	// words is the core-local axon mask width in 64-bit words.
+	words int
+	// masks packs every neuron's connectivity into one arena: neuron j owns
+	// words [2*j*words, 2*(j+1)*words), its +CMax mask followed by its -CMax
+	// mask, so one tick walks the arena linearly.
+	masks []uint64
+}
+
+// row returns neuron j's packed plus+minus mask pair.
+func (sc *sampledCore) row(j int) truenorth.BitVec {
+	return truenorth.BitVec(sc.masks[2*j*sc.words : 2*(j+1)*sc.words])
+}
+
+// plusRow returns neuron j's +CMax connectivity mask.
+func (sc *sampledCore) plusRow(j int) truenorth.BitVec {
+	return truenorth.BitVec(sc.masks[2*j*sc.words : (2*j+1)*sc.words])
+}
+
+// minusRow returns neuron j's -CMax connectivity mask.
+func (sc *sampledCore) minusRow(j int) truenorth.BitVec {
+	return truenorth.BitVec(sc.masks[(2*j+1)*sc.words : 2*(j+1)*sc.words])
 }
 
 // sampledLayer groups the cores reading one shared input vector.
 type sampledLayer struct {
+	plan  *planLayer
 	cores []*sampledCore
-	inDim int
-	// outDim is the concatenated export width.
-	outDim int
 }
 
 // SampledNet is one deployed copy of a trained network: the result of drawing
 // every synapse once from its Bernoulli connection probability (the paper's
-// spatial-domain instantiation).
+// spatial-domain instantiation). Draw-independent state — fire thresholds,
+// gather programs, class merge tables — lives on the shared QuantPlan.
 type SampledNet struct {
+	plan    *QuantPlan
 	layers  []*sampledLayer
 	cmax    int32
 	classes int
@@ -86,10 +105,23 @@ func (sn *SampledNet) NumCores() int {
 }
 
 // InputDim returns the expected input vector length.
-func (sn *SampledNet) InputDim() int { return sn.layers[0].inDim }
+func (sn *SampledNet) InputDim() int { return sn.layers[0].plan.inDim }
 
 // Depth returns the number of core layers (= on-chip pipeline depth in ticks).
 func (sn *SampledNet) Depth() int { return len(sn.layers) }
+
+// usesLeakRandomness reports whether any neuron draws per-tick leak
+// randomness (stochastic leak enabled and at least one fractional bias).
+func (sn *SampledNet) usesLeakRandomness() bool {
+	for _, l := range sn.layers {
+		for _, c := range l.cores {
+			if c.stoch && c.plan.anyFrac {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // Quantize converts a trained weight into the paper's (probability, sign)
 // pair: p = |w|/CMax in [0,1] and c = sign(w). Eq. (7) guarantees
@@ -104,73 +136,22 @@ func Quantize(w, cmax float64) (p float64, positive bool) {
 
 // Sample draws one network copy from net using src. The trained model is not
 // modified; every call with a fresh stream yields an independent spatial copy.
+// Callers that sample many copies of one network should compile once with
+// CompileQuant and call QuantPlan.Sample instead — this convenience wrapper
+// recompiles the plan on every call.
 func Sample(net *nn.Network, src *rng.PCG32, cfg SampleConfig) *SampledNet {
-	cmax := net.CMax
-	sn := &SampledNet{cmax: int32(math.Round(cmax))}
-	if sn.cmax < 1 {
-		sn.cmax = 1
-	}
-	for _, l := range net.Layers {
-		sl := &sampledLayer{inDim: l.InDim}
-		for _, c := range l.Cores {
-			sc := &sampledCore{
-				in:      c.In,
-				neurons: c.Neurons(),
-				exports: c.Exports,
-				leak:    make([]float64, c.Neurons()),
-				intLeak: make([]int32, c.Neurons()),
-				stoch:   cfg.StochasticLeak,
-			}
-			axons := len(c.In)
-			sc.plus = make([]truenorth.BitVec, c.Neurons())
-			sc.minus = make([]truenorth.BitVec, c.Neurons())
-			for j := 0; j < c.Neurons(); j++ {
-				sc.plus[j] = truenorth.NewBitVec(axons)
-				sc.minus[j] = truenorth.NewBitVec(axons)
-				row := c.W.Row(j)
-				for i := range row {
-					p, positive := Quantize(row[i], cmax)
-					if !rng.Bernoulli(src, p) {
-						continue
-					}
-					if positive {
-						sc.plus[j].Set(i)
-					} else {
-						sc.minus[j].Set(i)
-					}
-				}
-				sc.leak[j] = c.Bias[j]
-				sc.intLeak[j] = int32(math.Round(c.Bias[j]))
-			}
-			sl.cores = append(sl.cores, sc)
-			sl.outDim += c.Exports
-		}
-		sn.layers = append(sn.layers, sl)
-	}
-	ro := net.Readout
-	sn.classes = ro.Classes
-	last := sn.layers[len(sn.layers)-1]
-	sn.classOf = make([]int, last.outDim)
-	sn.classN = make([]int, ro.Classes)
-	for g := 0; g < last.outDim; g++ {
-		k := ro.Assignment(g)
-		sn.classOf[g] = k
-		sn.classN[k]++
-	}
-	return sn
+	return CompileQuant(net).Sample(src, cfg)
 }
 
-// leakDraw realizes neuron j's leak for one tick.
-func (sc *sampledCore) leakDraw(j int, src rng.Source) int32 {
-	if !sc.stoch {
-		return sc.intLeak[j]
-	}
-	fl := math.Floor(sc.leak[j])
-	l := int32(fl)
-	if frac := sc.leak[j] - fl; frac > 0 && rng.Bernoulli(src, frac) {
-		l++
-	}
-	return l
+// encPlan is the compiled spike program of one input frame: the pixels with
+// 0 < p < 1 keep their uint32 Bernoulli thresholds in pixel order (one rng
+// draw each per tick), and saturated pixels (p >= 1) are pre-staged in a base
+// mask copied wholesale. Building it once per frame replaces spf full passes
+// of per-pixel float quantization.
+type encPlan struct {
+	thr  []uint32
+	idx  []int32
+	base truenorth.BitVec
 }
 
 // FrameScratch holds the per-goroutine state for frame evaluation.
@@ -178,66 +159,183 @@ type FrameScratch struct {
 	input   truenorth.BitVec
 	layerIO []truenorth.BitVec // spike vectors between layers
 	local   []truenorth.BitVec // per-layer max core-local axon buffers
+	thr     []int32            // per-tick realized fire thresholds
+	enc     encPlan
 }
 
 // NewFrameScratch allocates scratch buffers for sn.
 func (sn *SampledNet) NewFrameScratch() *FrameScratch {
-	fs := &FrameScratch{input: truenorth.NewBitVec(sn.layers[0].inDim)}
+	fs := &FrameScratch{input: truenorth.NewBitVec(sn.layers[0].plan.inDim)}
+	fs.enc.base = make(truenorth.BitVec, len(fs.input))
+	maxNeurons := 0
 	for _, l := range sn.layers {
-		fs.layerIO = append(fs.layerIO, truenorth.NewBitVec(l.outDim))
+		fs.layerIO = append(fs.layerIO, truenorth.NewBitVec(l.plan.outDim))
 		maxAxons := 0
 		for _, c := range l.cores {
-			if len(c.in) > maxAxons {
-				maxAxons = len(c.in)
+			if len(c.plan.in) > maxAxons {
+				maxAxons = len(c.plan.in)
+			}
+			if c.plan.neurons > maxNeurons {
+				maxNeurons = c.plan.neurons
 			}
 		}
 		fs.local = append(fs.local, truenorth.NewBitVec(maxAxons))
 	}
+	fs.thr = make([]int32, maxNeurons)
 	return fs
+}
+
+// realizeThresholds returns each neuron's fire threshold for one tick,
+// consuming one draw per fractional-leak neuron in neuron order. The
+// rounded-leak ablation and fully-integer cores are draw-free and return the
+// precompiled thresholds without copying. The *rng.PCG32 case runs a
+// devirtualized draw loop — the per-tick leak realization is the only rng
+// consumer of the core tick.
+func (pc *planCore) realizeThresholds(stoch bool, src rng.Source, buf []int32) []int32 {
+	if !stoch {
+		return pc.thrDet
+	}
+	if !pc.anyFrac {
+		return pc.thrLo
+	}
+	buf = buf[:pc.neurons]
+	// The PCG32 branch duplicates the loop on purpose: a generic helper
+	// constrained on rng.Source goes through Go's shape-stenciled dictionary
+	// call and re-virtualizes the draw (measured ~19% slower per frame).
+	if pcg, ok := src.(*rng.PCG32); ok {
+		for j := range buf {
+			thr := pc.thrLo[j]
+			if pc.hasFrac[j] && pcg.Uint32() < pc.fracThr[j] {
+				thr = pc.thrHi[j]
+			}
+			buf[j] = thr
+		}
+		return buf
+	}
+	for j := range buf {
+		thr := pc.thrLo[j]
+		if pc.hasFrac[j] && src.Uint32() < pc.fracThr[j] {
+			thr = pc.thrHi[j]
+		}
+		buf[j] = thr
+	}
+	return buf
+}
+
+// compileInput builds the frame's encoding plan for x.
+func (fs *FrameScratch) compileInput(x []float64) {
+	fs.enc.thr = fs.enc.thr[:0]
+	fs.enc.idx = fs.enc.idx[:0]
+	fs.enc.base.Zero()
+	for i, v := range x {
+		switch {
+		case v <= 0:
+		case v >= 1:
+			fs.enc.base.Set(i)
+		default:
+			fs.enc.thr = append(fs.enc.thr, uint32(v*(1<<32)))
+			fs.enc.idx = append(fs.enc.idx, int32(i))
+		}
+	}
+}
+
+// encodeTick stages one spike realization of the compiled frame in fs.input.
+// Draws are consumed in pixel order, exactly as EncodeInput does. The
+// *rng.PCG32 case is devirtualized: one direct generator call per stochastic
+// pixel instead of an interface dispatch.
+func (fs *FrameScratch) encodeTick(src rng.Source) {
+	copy(fs.input, fs.enc.base)
+	// Duplicated rather than shared through a generic: see realizeThresholds.
+	if pcg, ok := src.(*rng.PCG32); ok {
+		for k, t := range fs.enc.thr {
+			if pcg.Uint32() < t {
+				fs.input.Set(int(fs.enc.idx[k]))
+			}
+		}
+		return
+	}
+	for k, t := range fs.enc.thr {
+		if src.Uint32() < t {
+			fs.input.Set(int(fs.enc.idx[k]))
+		}
+	}
 }
 
 // Tick runs one tick of the copy given the input spike vector already staged
 // in fs.input, accumulating final-layer spike counts into classCounts (length
 // Classes). src drives stochastic leak.
+//
+// The loop is integer-only: axons stage by word-level gather runs, and each
+// neuron compares its popcount difference against the precompiled fire
+// threshold for its realized leak (one uint32 draw per fractional-leak neuron
+// per tick, matching the reference leak realization draw for draw).
 func (sn *SampledNet) Tick(fs *FrameScratch, src rng.Source, classCounts []int64) {
 	in := fs.input
 	for li, l := range sn.layers {
 		out := fs.layerIO[li]
 		out.Zero()
 		outBase := 0
+		last := li == len(sn.layers)-1
 		for _, c := range l.cores {
-			// Gather the core-local active axon set.
-			local := fs.local[li][:(len(c.in)+63)/64]
+			pc := c.plan
+			local := fs.local[li][:c.words]
+			idle := true
 			for w := range local {
 				local[w] = 0
 			}
-			for a, idx := range c.in {
-				if in.Get(idx) {
-					local.Set(a)
+			local.Gather(in, pc.gather)
+			for _, w := range local {
+				if w != 0 {
+					idle = false
+					break
 				}
 			}
-			last := li == len(sn.layers)-1
-			for j := 0; j < c.neurons; j++ {
-				v := sn.cmax*int32(truenorth.AndPopcount(local, c.plus[j])-truenorth.AndPopcount(local, c.minus[j])) + c.leakDraw(j, src)
-				if v < 0 {
+			thr := pc.realizeThresholds(c.stoch, src, fs.thr)
+			for j := 0; j < pc.neurons; j++ {
+				var d int32
+				if !idle {
+					d = int32(truenorth.AndPopcountDiff(local, c.row(j)))
+				}
+				if d < thr[j] {
 					continue
 				}
-				if j < c.exports {
+				if j < pc.exports {
 					out.Set(outBase + j)
 				}
 				if last {
 					classCounts[sn.classOf[outBase+j]]++
 				}
 			}
-			outBase += c.exports
+			outBase += pc.exports
 		}
 		in = out
 	}
 }
 
 // EncodeInput stages one Bernoulli spike realization of x (Eq. 8) in fs.
+// Multi-tick frame paths use the cached per-frame plan instead
+// (EncodeFrameTick), which consumes the identical draw sequence. The
+// *rng.PCG32 case draws directly, skipping one interface dispatch per
+// stochastic pixel; thresholds match rng.Bernoulli exactly.
 func (sn *SampledNet) EncodeInput(fs *FrameScratch, x []float64, src rng.Source) {
 	fs.input.Zero()
+	// Duplicated rather than shared through a generic: see realizeThresholds.
+	// The per-pixel cases mirror rng.Bernoulli draw for draw (p <= 0 and
+	// p >= 1 consume none).
+	if pcg, ok := src.(*rng.PCG32); ok {
+		for i, v := range x {
+			switch {
+			case v <= 0:
+			case v >= 1:
+				fs.input.Set(i)
+			default:
+				if pcg.Uint32() < uint32(v*(1<<32)) {
+					fs.input.Set(i)
+				}
+			}
+		}
+		return
+	}
 	for i, v := range x {
 		if rng.Bernoulli(src, v) {
 			fs.input.Set(i)
@@ -245,15 +343,31 @@ func (sn *SampledNet) EncodeInput(fs *FrameScratch, x []float64, src rng.Source)
 	}
 }
 
+// EncodeFrameTick stages tick (0-based) of an spf-tick frame of x: tick 0
+// compiles the frame's encoding plan into fs, later ticks replay it. Ticks
+// of one frame must be encoded in order on one scratch. Single-tick frames
+// skip the plan — one direct pass is cheaper than compile + replay and
+// consumes the identical draw sequence.
+func (sn *SampledNet) EncodeFrameTick(fs *FrameScratch, x []float64, tick, spf int, src rng.Source) {
+	if spf == 1 {
+		sn.EncodeInput(fs, x, src)
+		return
+	}
+	if tick == 0 {
+		fs.compileInput(x)
+	}
+	fs.encodeTick(src)
+}
+
 // Frame classifies one input with spf temporal samples: each of the spf ticks
 // draws a fresh input spike realization, and class spike counts accumulate
 // across ticks. Returns the per-class counts.
 func (sn *SampledNet) Frame(fs *FrameScratch, x []float64, spf int, src rng.Source, classCounts []int64) {
-	if len(x) > sn.layers[0].inDim {
-		panic(fmt.Sprintf("deploy: input dim %d exceeds network %d", len(x), sn.layers[0].inDim))
+	if len(x) > sn.layers[0].plan.inDim {
+		panic(fmt.Sprintf("deploy: input dim %d exceeds network %d", len(x), sn.layers[0].plan.inDim))
 	}
 	for t := 0; t < spf; t++ {
-		sn.EncodeInput(fs, x, src)
+		sn.EncodeFrameTick(fs, x, t, spf, src)
 		sn.Tick(fs, src, classCounts)
 	}
 }

@@ -5,12 +5,14 @@
 //
 // The engine owns three concerns its callers used to hand-roll:
 //
-//   - chunked fan-out: items are partitioned into one contiguous chunk per
-//     worker, bounding goroutine count independently of batch size;
+//   - work-stealing fan-out: a bounded worker pool drains items off a shared
+//     atomic counter, so heterogeneous items (e.g. cycle-accurate chip
+//     frames of different depth) never leave fast workers idle behind a
+//     static partition;
 //   - deterministic randomness: every item receives a private rng.PCG32
-//     stream split from the caller's root by item index before the fan-out
-//     starts, so results are bit-identical regardless of worker count or
-//     goroutine scheduling;
+//     stream, split from the caller's root by item index into one contiguous
+//     arena before the fan-out starts, so results are bit-identical
+//     regardless of worker count or goroutine scheduling;
 //   - scratch reuse: per-worker mutable state (spike buffers, count grids,
 //     whole simulated chips) is created once per worker and, for the
 //     Predictor-level APIs, recycled across batches through a sync.Pool.
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -91,45 +94,45 @@ func (c Config) context() context.Context {
 // Run is the engine's fan-out primitive: it executes body(state, i, src) for
 // every item i in [0, n), where state is worker-local (created by newState
 // once per worker) and src is the item's private stream. Streams are derived
-// serially from root by item index before any goroutine starts, so a body
-// that draws randomness only from src produces scheduling-independent
-// results. After a worker drains its chunk, merge(state) runs under the
-// engine's lock (pass nil when no reduction is needed).
+// serially from root by item index into one contiguous backing arena before
+// any goroutine starts, so a body that draws randomness only from src
+// produces scheduling-independent results even though workers claim items
+// dynamically off a shared atomic counter (no worker idles while another
+// still holds a backlog of expensive items). After a worker drains the
+// counter, merge(state) runs under the engine's lock (pass nil when no
+// reduction is needed); merges must be order-insensitive, as completion
+// order depends on scheduling.
 func Run[S any](cfg Config, n int, root *rng.PCG32, newState func() S, body func(state S, item int, src *rng.PCG32), merge func(S)) error {
 	if n <= 0 {
 		return nil
 	}
 	ctx := cfg.context()
-	streams := make([]*rng.PCG32, n)
-	for i := range streams {
-		streams[i] = root.Split(uint64(i))
+	arena := make([]rng.PCG32, n)
+	for i := range arena {
+		root.SplitInto(&arena[i], uint64(i))
 	}
-	workers := cfg.workerCount()
-	chunk := (n + workers - 1) / workers
+	workers := min(cfg.workerCount(), n)
+	var next atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := min(lo+chunk, n)
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
 			state := newState()
-			for i := lo; i < hi; i++ {
-				if ctx.Err() != nil {
-					return
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
 				}
-				body(state, i, streams[i])
+				body(state, i, &arena[i])
 			}
 			if merge != nil {
 				mu.Lock()
 				merge(state)
 				mu.Unlock()
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	return ctx.Err()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -303,5 +304,57 @@ func TestNewGrid(t *testing.T) {
 	g := NewGrid(2, 3)
 	if len(g) != 2 || len(g[0]) != 3 || len(g[1]) != 3 {
 		t.Fatalf("grid shape %v", g)
+	}
+}
+
+// TestRunWorkStealingCoversAllItemsOnce: under the dynamic counter, every
+// item must execute exactly once for any worker count, including workers > n
+// and pathologically skewed per-item costs.
+func TestRunWorkStealingCoversAllItemsOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 64} {
+		const n = 37
+		var hits [n]atomic.Int64
+		err := Run(Config{Workers: workers}, n, rng.NewPCG32(1, 1),
+			func() int { return 0 },
+			func(_ int, i int, src *rng.PCG32) {
+				if src == nil {
+					t.Error("nil stream")
+				}
+				hits[i].Add(1)
+				if i%9 == 0 {
+					time.Sleep(time.Millisecond) // skewed item cost
+				}
+			}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestRunStreamsMatchSerialSplit: the arena streams handed to body must be
+// exactly root.Split(i) regardless of which worker claims item i.
+func TestRunStreamsMatchSerialSplit(t *testing.T) {
+	const n = 50
+	ref := rng.NewPCG32(5, 5)
+	want := make([]uint32, n)
+	for i := range want {
+		want[i] = ref.Split(uint64(i)).Uint32()
+	}
+	got := make([]uint32, n)
+	err := Run(Config{Workers: 7}, n, rng.NewPCG32(5, 5),
+		func() int { return 0 },
+		func(_ int, i int, src *rng.PCG32) { got[i] = src.Uint32() }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("item %d drew %d, serial split reference %d", i, got[i], want[i])
+		}
 	}
 }

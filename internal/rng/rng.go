@@ -39,12 +39,20 @@ const pcgMult = 6364136223846793005
 // NewPCG32 returns a generator seeded with seed on stream stream.
 // Distinct streams are statistically independent sequences.
 func NewPCG32(seed, stream uint64) *PCG32 {
-	p := &PCG32{inc: stream<<1 | 1}
+	p := new(PCG32)
+	p.Seed(seed, stream)
+	return p
+}
+
+// Seed (re)initializes p in place, exactly as NewPCG32 does. It exists so
+// callers can seed generators living in a caller-managed backing array
+// without a per-generator allocation.
+func (p *PCG32) Seed(seed, stream uint64) {
+	p.inc = stream<<1 | 1
 	p.state = 0
 	p.Uint32()
 	p.state += seed
 	p.Uint32()
-	return p
 }
 
 // Uint32 advances the generator and returns the next 32 bits.
@@ -60,8 +68,17 @@ func (p *PCG32) Uint32() uint32 {
 // current state and the given label. The receiver is advanced once so repeated
 // splits with the same label differ.
 func (p *PCG32) Split(label uint64) *PCG32 {
+	q := new(PCG32)
+	p.SplitInto(q, label)
+	return q
+}
+
+// SplitInto seeds dst with exactly the stream Split(label) would return,
+// without allocating: dst may live in a caller-managed arena. The receiver
+// advances identically to Split.
+func (p *PCG32) SplitInto(dst *PCG32, label uint64) {
 	s := SplitMix64(uint64(p.Uint32())<<32 | uint64(p.Uint32()))
-	return NewPCG32(s^SplitMix64(label), SplitMix64(label+0x9e3779b97f4a7c15))
+	dst.Seed(s^SplitMix64(label), SplitMix64(label+0x9e3779b97f4a7c15))
 }
 
 // SplitMix64 is Steele et al.'s 64-bit finalizing mixer. It maps any input to

@@ -329,3 +329,38 @@ func BenchmarkBernoulli(b *testing.B) {
 	}
 	_ = hits
 }
+
+func TestSeedMatchesNewPCG32(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		fresh := NewPCG32(seed, seed*3+1)
+		var inPlace PCG32
+		inPlace.Seed(seed, seed*3+1)
+		for i := 0; i < 20; i++ {
+			if fresh.Uint32() != inPlace.Uint32() {
+				t.Fatalf("seed %d: in-place Seed diverges from NewPCG32 at draw %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	a := NewPCG32(42, 9)
+	b := NewPCG32(42, 9)
+	for label := uint64(0); label < 40; label++ {
+		split := a.Split(label)
+		var into PCG32
+		b.SplitInto(&into, label)
+		if *split != into {
+			t.Fatalf("label %d: SplitInto state diverges from Split", label)
+		}
+		for i := 0; i < 8; i++ {
+			if split.Uint32() != into.Uint32() {
+				t.Fatalf("label %d: SplitInto stream diverges at draw %d", label, i)
+			}
+		}
+	}
+	// The receivers must have advanced identically too.
+	if *a != *b {
+		t.Fatal("SplitInto advanced the receiver differently from Split")
+	}
+}

@@ -56,3 +56,85 @@ func AndPopcount(a, b BitVec) int {
 	}
 	return n
 }
+
+// AndPopcountDiff returns |a AND plus| - |a AND minus| in one fused pass,
+// where pm packs the plus mask followed by the minus mask (each len(a)
+// words) — the memory layout of a compiled neuron row.
+func AndPopcountDiff(a, pm BitVec) int {
+	n := len(a)
+	d := 0
+	for i, w := range a {
+		d += bits.OnesCount64(w&pm[i]) - bits.OnesCount64(w&pm[n+i])
+	}
+	return d
+}
+
+// BlitRun is one instruction of a compiled gather plan: N source bits
+// starting at Src land on N destination bits starting at Dst. Runs are the
+// word-level replacement for per-axon Get/Set staging — a core whose axon map
+// is a handful of contiguous windows gathers its whole input in a few
+// word copies instead of 256 branchy bit probes.
+type BlitRun struct {
+	Src, Dst, N int32
+}
+
+// CompileGather turns an axon index map (destination bit a reads source bit
+// in[a]) into maximal contiguous runs. The plan depends only on the wiring,
+// so it is compiled once per trained core and shared by every sampled copy.
+func CompileGather(in []int) []BlitRun {
+	var runs []BlitRun
+	for a := 0; a < len(in); {
+		b := a + 1
+		for b < len(in) && in[b] == in[b-1]+1 {
+			b++
+		}
+		runs = append(runs, BlitRun{Src: int32(in[a]), Dst: int32(a), N: int32(b - a)})
+		a = b
+	}
+	return runs
+}
+
+// Gather executes a compiled plan, staging the planned source bits of src
+// into b. The destination bits must already be zero (OR semantics).
+func (b BitVec) Gather(src BitVec, plan []BlitRun) {
+	for _, r := range plan {
+		if r.N == 1 {
+			if src.Get(int(r.Src)) {
+				b.Set(int(r.Dst))
+			}
+			continue
+		}
+		OrRange(b, int(r.Dst), src, int(r.Src), int(r.N))
+	}
+}
+
+// OrRange ORs n bits of src starting at srcOff into dst starting at dstOff.
+// Neither offset needs any alignment; the copy proceeds one destination word
+// per step.
+func OrRange(dst BitVec, dstOff int, src BitVec, srcOff, n int) {
+	for n > 0 {
+		take := 64 - (dstOff & 63)
+		if take > n {
+			take = n
+		}
+		dst[dstOff>>6] |= src.rangeWord(srcOff, take) << (uint(dstOff) & 63)
+		dstOff += take
+		srcOff += take
+		n -= take
+	}
+}
+
+// rangeWord reads take (1..64) bits starting at bit offset off, low bit
+// first; bits past the end of b read as zero.
+func (b BitVec) rangeWord(off, take int) uint64 {
+	w := off >> 6
+	sh := uint(off) & 63
+	v := b[w] >> sh
+	if sh != 0 && w+1 < len(b) {
+		v |= b[w+1] << (64 - sh)
+	}
+	if take < 64 {
+		v &= 1<<uint(take) - 1
+	}
+	return v
+}

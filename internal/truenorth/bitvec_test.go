@@ -1,0 +1,149 @@
+package truenorth
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// naiveGather is the pre-plan per-axon staging loop.
+func naiveGather(dst, src BitVec, in []int) {
+	for a, idx := range in {
+		if src.Get(idx) {
+			dst.Set(a)
+		}
+	}
+}
+
+// randomAxonMap draws an axon map mixing contiguous runs with isolated taps.
+func randomAxonMap(src *rng.PCG32, axons, dim int) []int {
+	in := make([]int, 0, axons)
+	for len(in) < axons {
+		if rng.Intn(src, 2) == 0 {
+			// Contiguous run.
+			n := 1 + rng.Intn(src, axons-len(in))
+			if n > dim {
+				n = dim
+			}
+			start := rng.Intn(src, dim-n+1)
+			for k := 0; k < n; k++ {
+				in = append(in, start+k)
+			}
+		} else {
+			in = append(in, rng.Intn(src, dim))
+		}
+	}
+	return in
+}
+
+// TestGatherMatchesNaive: compiled word-blit gathering must equal the
+// per-axon reference on randomized maps at every word alignment.
+func TestGatherMatchesNaive(t *testing.T) {
+	src := rng.NewPCG32(7, 7)
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(src, 400)
+		axons := 1 + rng.Intn(src, 300)
+		in := randomAxonMap(src, axons, dim)
+		plan := CompileGather(in)
+
+		input := NewBitVec(dim)
+		for i := 0; i < dim; i++ {
+			if rng.Bernoulli(src, 0.4) {
+				input.Set(i)
+			}
+		}
+		want := NewBitVec(axons)
+		naiveGather(want, input, in)
+		got := NewBitVec(axons)
+		got.Gather(input, plan)
+		for a := 0; a < axons; a++ {
+			if got.Get(a) != want.Get(a) {
+				t.Fatalf("trial %d: axon %d (map %v)", trial, a, in)
+			}
+		}
+	}
+}
+
+// TestCompileGatherRuns pins run detection on hand-picked maps.
+func TestCompileGatherRuns(t *testing.T) {
+	cases := []struct {
+		in   []int
+		runs int
+	}{
+		{[]int{0, 1, 2, 3}, 1},
+		{[]int{5, 6, 7, 1, 2}, 2},
+		{[]int{3, 3, 3}, 3},    // duplicates never merge
+		{[]int{9, 8, 7}, 3},    // descending never merges
+		{[]int{0, 2, 4, 6}, 4}, // strided never merges
+	}
+	for _, c := range cases {
+		if got := len(CompileGather(c.in)); got != c.runs {
+			t.Errorf("CompileGather(%v) = %d runs, want %d", c.in, got, c.runs)
+		}
+		total := 0
+		for _, r := range CompileGather(c.in) {
+			total += int(r.N)
+		}
+		if total != len(c.in) {
+			t.Errorf("CompileGather(%v) covers %d axons, want %d", c.in, total, len(c.in))
+		}
+	}
+}
+
+// TestOrRangeAlignments sweeps every (srcOff, dstOff, n) combination over a
+// few words against a bit-at-a-time reference.
+func TestOrRangeAlignments(t *testing.T) {
+	const bits = 130
+	src := NewBitVec(bits)
+	r := rng.NewPCG32(3, 3)
+	for i := 0; i < bits; i++ {
+		if rng.Bernoulli(r, 0.5) {
+			src.Set(i)
+		}
+	}
+	for srcOff := 0; srcOff < 67; srcOff += 3 {
+		for dstOff := 0; dstOff < 67; dstOff += 5 {
+			for n := 1; srcOff+n <= bits && dstOff+n <= bits; n += 7 {
+				got := NewBitVec(bits)
+				OrRange(got, dstOff, src, srcOff, n)
+				want := NewBitVec(bits)
+				for k := 0; k < n; k++ {
+					if src.Get(srcOff + k) {
+						want.Set(dstOff + k)
+					}
+				}
+				for i := 0; i < bits; i++ {
+					if got.Get(i) != want.Get(i) {
+						t.Fatalf("srcOff=%d dstOff=%d n=%d bit %d", srcOff, dstOff, n, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAndPopcountDiff checks the fused popcount against the two-pass form.
+func TestAndPopcountDiff(t *testing.T) {
+	r := rng.NewPCG32(11, 11)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(r, 300)
+		a, plus, minus := NewBitVec(n), NewBitVec(n), NewBitVec(n)
+		for i := 0; i < n; i++ {
+			if rng.Bernoulli(r, 0.5) {
+				a.Set(i)
+			}
+			if rng.Bernoulli(r, 0.3) {
+				plus.Set(i)
+			} else if rng.Bernoulli(r, 0.4) {
+				minus.Set(i)
+			}
+		}
+		pm := make(BitVec, 0, 2*len(a))
+		pm = append(pm, plus...)
+		pm = append(pm, minus...)
+		want := AndPopcount(a, plus) - AndPopcount(a, minus)
+		if got := AndPopcountDiff(a, pm); got != want {
+			t.Fatalf("trial %d: fused %d, two-pass %d", trial, got, want)
+		}
+	}
+}

@@ -64,6 +64,17 @@ func NewChip(seed uint64) *Chip {
 	return &Chip{Capacity: ChipCapacity, seed: rng.NewPCG32(seed, 4096)}
 }
 
+// Reseed rederives every core's private PRNG stream from seed. Callers that
+// need frame-level replayability independent of the chip's history (e.g. a
+// worker pool handing items to chips in schedule-dependent order) reseed
+// from a per-item stream before each frame.
+func (ch *Chip) Reseed(seed uint64) {
+	root := rng.NewPCG32(seed, 4096)
+	for i, c := range ch.cores {
+		c.Reseed(root.Split(uint64(i)))
+	}
+}
+
 // AddCore places a core on the chip and returns its index. The core is given
 // a private PRNG stream split from the chip seed.
 func (ch *Chip) AddCore(axons, neurons int) (int, *Core, error) {

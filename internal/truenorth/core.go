@@ -46,6 +46,9 @@ type Core struct {
 	prng rng.Source
 }
 
+// Reseed replaces the core's private PRNG stream.
+func (c *Core) Reseed(prng rng.Source) { c.prng = prng }
+
 // NewCore returns an empty core with the given dimensions. Dimensions beyond
 // DefaultCoreSize are permitted for experimentation but flagged by
 // ValidateHardware.
