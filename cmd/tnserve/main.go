@@ -1,0 +1,111 @@
+// Command tnserve serves trained TrueNorth models over HTTP with dynamic
+// micro-batching: concurrent classify requests coalesce into engine batches
+// while responses stay bit-identical to the offline fast path for a fixed
+// per-request seed.
+//
+// Usage:
+//
+//	tnserve -models models/                    # serve every *.json in a dir
+//	tnserve bench1_biased.json other.json      # or individual model files
+//	tnserve -addr :9090 -window 1ms -max-batch 128 -workers 8 models/
+//
+// Endpoints: POST /v1/classify, GET /v1/models, GET /healthz,
+// GET /debug/stats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		modelDir = flag.String("models", "", "directory of *.json models (tntrain envelopes or raw networks)")
+		window   = flag.Duration("window", 2*time.Millisecond, "micro-batch deadline: max wait after a batch's first item")
+		maxBatch = flag.Int("max-batch", 64, "size-triggered flush threshold")
+		queueCap = flag.Int("queue", 0, "pending-item queue bound (0 = 4*max-batch)")
+		flushers = flag.Int("flushers", 2, "concurrent batch executors")
+		workers  = flag.Int("workers", 0, "engine goroutines per batch (0 = GOMAXPROCS)")
+		maxSPF   = flag.Int("max-spf", 64, "per-request spikes-per-frame cap")
+		maxItems = flag.Int("max-items", 256, "per-request input count cap")
+		drainFor = flag.Duration("drain", 10*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	reg := serve.NewRegistry()
+	loaded := 0
+	if *modelDir != "" {
+		n, err := reg.LoadDir(*modelDir)
+		if err != nil {
+			fatal(err)
+		}
+		loaded += n
+	}
+	for _, path := range flag.Args() {
+		entry, err := reg.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("loaded model %q: %d classes, %d-dim input, %d cores",
+			entry.Name, entry.Plan.Classes(), entry.Plan.InputDim(), entry.Plan.NumCores())
+		loaded++
+	}
+	if loaded == 0 {
+		fatal(errors.New("no models: pass -models DIR and/or model files as arguments"))
+	}
+
+	srv := serve.NewServer(reg, serve.Config{
+		MaxBatch:     *maxBatch,
+		Window:       *window,
+		QueueCap:     *queueCap,
+		FlushWorkers: *flushers,
+		Workers:      *workers,
+		MaxSPF:       *maxSPF,
+		MaxItems:     *maxItems,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("shutting down: draining for up to %s", *drainFor)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("tnserve: %d model(s) %v on %s (window %s, max-batch %d)",
+		loaded, reg.Names(), *addr, *window, *maxBatch)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	// ListenAndServe returns as soon as the listener closes; in-flight
+	// handlers may still be writing responses, so wait for Shutdown (which
+	// blocks until they return) before tearing anything down.
+	<-shutdownDone
+	// Handlers done: drain the batching pipeline so every accepted request
+	// finished before exit.
+	srv.Close()
+	log.Printf("drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnserve:", err)
+	os.Exit(1)
+}

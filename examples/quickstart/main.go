@@ -6,14 +6,22 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/synth/digits"
 )
 
@@ -93,4 +101,65 @@ func main() {
 	stats := cp.Stats()
 	fmt.Printf("chip path: %.0f%% of 100 frames correct on a %d-core chip (%d spikes, %d synaptic events)\n",
 		acc*100, cp.Cores(), stats.Spikes, stats.SynEvents)
+
+	// 6. Serve it: the same model behind the dynamic-batching HTTP service
+	// (what `tnserve` runs). Requests carry a seed, and the response is
+	// bit-identical to the offline fast path for that seed no matter how the
+	// server batches traffic — verified below against a direct
+	// FastPredictor call using the serving stream contract.
+	reg := serve.NewRegistry()
+	if _, err := reg.Register("quickstart", model.Net, &model.Meta); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := serve.NewServer(reg, serve.Config{MaxBatch: 16, Window: 2 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("serving model %q on %s\n", "quickstart", url)
+
+	const servSeed, servSPF = 7, 2
+	body, _ := json.Marshal(serve.ClassifyRequest{
+		Model: "quickstart", Seed: servSeed, SPF: servSPF, Inputs: test.X[:4],
+	})
+	resp, err := http.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "classify failed: status %d: %s\n", resp.StatusCode, body)
+		os.Exit(1)
+	}
+	var cr serve.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	resp.Body.Close()
+
+	// The offline reference for the same (model, seed): sample via
+	// SampleStream, run item i on FrameStream+i.
+	plan := deploy.CompileQuant(model.Net)
+	ssn := plan.Sample(rng.NewPCG32(servSeed, serve.SampleStream), deploy.DefaultSampleConfig())
+	pred := &deploy.FastPredictor{Net: ssn}
+	fs := ssn.NewFrameScratch()
+	for i, r := range cr.Results {
+		counts := make([]int64, ssn.Classes())
+		pred.Frame(fs, test.X[i], servSPF, rng.NewPCG32(servSeed, serve.FrameStream+uint64(i)), counts)
+		match := "=="
+		if pred.Decide(counts) != r.Class {
+			match = "!=" // never happens: the server is bit-identical
+		}
+		fmt.Printf("  /v1/classify image %d: class %d (label %d), offline fast path %s server\n",
+			i, r.Class, test.Y[i], match)
+	}
+	hs.Shutdown(context.Background())
+	srv.Close()
 }

@@ -216,6 +216,70 @@ func TestChipPredictorEnsembleSumsCopies(t *testing.T) {
 	}
 }
 
+// TestClassifyItemsPerItemSeedParity: the engine's per-item seed plumbing
+// (engine.RunSeeded / Engine.ClassifyItems) must serve heterogeneous batches
+// — every item carrying its own seed and spf — bit-identically to a direct
+// FastPredictor call on the item's own stream. The run used to force one
+// shared base seed per batch (Run's root.Split(i) derivation), which made
+// results depend on batch composition; per-item seeds remove that coupling.
+// Predictions are additionally pinned by a golden so the stream derivation
+// can never drift silently.
+func TestClassifyItemsPerItemSeedParity(t *testing.T) {
+	d, w, bias := goldenFixture()
+	net := singleCoreNet(w, bias, 3)
+	sn := Sample(net, rng.NewPCG32(21, 21), DefaultSampleConfig())
+	const n = 30
+	items := make([]engine.Item, n)
+	for i := range items {
+		seed, spf := uint64(1000+i), 1+i%3
+		items[i] = engine.Item{
+			X:    d.X[i],
+			SPF:  spf,
+			Seed: func(dst *rng.PCG32) { dst.Seed(seed, 77) },
+		}
+	}
+
+	// Direct single-item reference: one FastPredictor frame per item on the
+	// item's own stream — the serving layer's offline fast path.
+	pred := &FastPredictor{Net: sn}
+	fs := sn.NewFrameScratch()
+	want := make([]int, n)
+	for i := range items {
+		counts := make([]int64, sn.Classes())
+		pred.Frame(fs, items[i].X, items[i].SPF, rng.NewPCG32(uint64(1000+i), 77), counts)
+		want[i] = pred.Decide(counts)
+	}
+	golden := []int{1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 0, 1}
+	for i := range want {
+		if want[i] != golden[i] {
+			t.Errorf("item %d: direct %d, golden %d (full: %v)", i, want[i], golden[i], want)
+		}
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		e := engine.New(&FastPredictor{Net: sn}, engine.Config{Workers: workers})
+		// Whole batch, then the same items regrouped into uneven sub-batches:
+		// grouping must be invisible to results.
+		groupings := [][]int{{n}, {1, 4, 7, 3, 9, 6}}
+		for _, sizes := range groupings {
+			at := 0
+			for _, sz := range sizes {
+				out, err := e.ClassifyItems(items[at : at+sz])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j, o := range out {
+					if o.Class != want[at+j] {
+						t.Fatalf("workers=%d grouping=%v item %d: batched %d vs direct %d",
+							workers, sizes, at+j, o.Class, want[at+j])
+					}
+				}
+				at += sz
+			}
+		}
+	}
+}
+
 // TestSurfaceCancellation: a pre-canceled context must abort the evaluation
 // with the context's error.
 func TestSurfaceCancellation(t *testing.T) {

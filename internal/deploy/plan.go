@@ -206,6 +206,37 @@ func (qp *QuantPlan) NumCores() int {
 // Classes returns the readout width.
 func (qp *QuantPlan) Classes() int { return qp.classes }
 
+// InputDim returns the expected input vector length.
+func (qp *QuantPlan) InputDim() int { return qp.layers[0].inDim }
+
+// Depth returns the number of core layers.
+func (qp *QuantPlan) Depth() int { return len(qp.layers) }
+
+// NewFrameScratch allocates frame-evaluation scratch sized for this plan.
+// Shape is draw-independent, so one scratch serves any copy sampled from the
+// plan — long-lived callers (e.g. a model server) pool scratches per plan and
+// reuse them across copies sampled with different seeds.
+func (qp *QuantPlan) NewFrameScratch() *FrameScratch {
+	fs := &FrameScratch{input: truenorth.NewBitVec(qp.layers[0].inDim)}
+	fs.enc.base = make(truenorth.BitVec, len(fs.input))
+	maxNeurons := 0
+	for _, l := range qp.layers {
+		fs.layerIO = append(fs.layerIO, truenorth.NewBitVec(l.outDim))
+		maxAxons := 0
+		for _, c := range l.cores {
+			if len(c.in) > maxAxons {
+				maxAxons = len(c.in)
+			}
+			if c.neurons > maxNeurons {
+				maxNeurons = c.neurons
+			}
+		}
+		fs.local = append(fs.local, truenorth.NewBitVec(maxAxons))
+	}
+	fs.thr = make([]int32, maxNeurons)
+	return fs
+}
+
 // Sample draws one network copy from the compiled plan using src: for every
 // stochastic synapse entry, one uint32 draw against its precompiled
 // threshold. The draw sequence is identical to sampling the uncompiled

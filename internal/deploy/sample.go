@@ -163,27 +163,13 @@ type FrameScratch struct {
 	enc     encPlan
 }
 
-// NewFrameScratch allocates scratch buffers for sn.
-func (sn *SampledNet) NewFrameScratch() *FrameScratch {
-	fs := &FrameScratch{input: truenorth.NewBitVec(sn.layers[0].plan.inDim)}
-	fs.enc.base = make(truenorth.BitVec, len(fs.input))
-	maxNeurons := 0
-	for _, l := range sn.layers {
-		fs.layerIO = append(fs.layerIO, truenorth.NewBitVec(l.plan.outDim))
-		maxAxons := 0
-		for _, c := range l.cores {
-			if len(c.plan.in) > maxAxons {
-				maxAxons = len(c.plan.in)
-			}
-			if c.plan.neurons > maxNeurons {
-				maxNeurons = c.plan.neurons
-			}
-		}
-		fs.local = append(fs.local, truenorth.NewBitVec(maxAxons))
-	}
-	fs.thr = make([]int32, maxNeurons)
-	return fs
-}
+// NewFrameScratch allocates scratch buffers for sn. Scratch shape depends
+// only on the shared compiled plan, so the buffers are interchangeable across
+// every copy sampled from the same QuantPlan.
+func (sn *SampledNet) NewFrameScratch() *FrameScratch { return sn.plan.NewFrameScratch() }
+
+// Plan returns the shared compiled plan this copy was sampled from.
+func (sn *SampledNet) Plan() *QuantPlan { return sn.plan }
 
 // realizeThresholds returns each neuron's fire threshold for one tick,
 // consuming one draw per fractional-leak neuron in neuron order. The

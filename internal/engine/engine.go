@@ -91,6 +91,13 @@ func (c Config) context() context.Context {
 	return context.Background()
 }
 
+// SeedFunc derives item i's private stream into dst. The engine calls it
+// serially in increasing item order before the fan-out starts, so
+// implementations may advance shared state (e.g. PCG32.SplitInto, which
+// steps the root generator) and still produce scheduling-independent
+// streams.
+type SeedFunc func(item int, dst *rng.PCG32)
+
 // Run is the engine's fan-out primitive: it executes body(state, i, src) for
 // every item i in [0, n), where state is worker-local (created by newState
 // once per worker) and src is the item's private stream. Streams are derived
@@ -103,13 +110,26 @@ func (c Config) context() context.Context {
 // reduction is needed); merges must be order-insensitive, as completion
 // order depends on scheduling.
 func Run[S any](cfg Config, n int, root *rng.PCG32, newState func() S, body func(state S, item int, src *rng.PCG32), merge func(S)) error {
+	return RunSeeded(cfg, n, func(i int, dst *rng.PCG32) { root.SplitInto(dst, uint64(i)) }, newState, body, merge)
+}
+
+// RunSeeded is Run with caller-controlled per-item streams: seed(i, dst)
+// derives item i's generator instead of the single-root Split(i) derivation.
+// This is the contract heterogeneous batches need — e.g. a serving batch that
+// coalesces requests carrying their own seeds — because each item's stream
+// depends only on the item itself, never on which other items share the
+// batch, a worker schedule, or a base seed. Everything else matches Run:
+// streams are derived serially into one arena before the fan-out, workers
+// claim items off a shared atomic counter, and merge runs once per worker
+// under the engine's lock.
+func RunSeeded[S any](cfg Config, n int, seed SeedFunc, newState func() S, body func(state S, item int, src *rng.PCG32), merge func(S)) error {
 	if n <= 0 {
 		return nil
 	}
 	ctx := cfg.context()
 	arena := make([]rng.PCG32, n)
 	for i := range arena {
-		root.SplitInto(&arena[i], uint64(i))
+		seed(i, &arena[i])
 	}
 	workers := min(cfg.workerCount(), n)
 	var next atomic.Int64
@@ -179,6 +199,50 @@ func (e *Engine) Classify(inputs [][]float64, spf int, root *rng.PCG32) ([]int, 
 			out[i] = e.p.Decide(s.counts)
 		},
 		func(s *state) { e.scratch.Put(s.scratch) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Item is one request of a heterogeneous batch: its own input, its own
+// temporal depth, and its own stream derivation. Batches of Items are how a
+// serving layer coalesces unrelated concurrent requests into one engine
+// fan-out without entangling their randomness.
+type Item struct {
+	// X is the input vector.
+	X []float64
+	// SPF is the number of temporal samples for this item (>= 1).
+	SPF int
+	// Seed derives the item's private stream; it is called serially in item
+	// order before the fan-out starts and must depend only on the item (not
+	// on shared mutable state), so the result is independent of how items
+	// were grouped into batches.
+	Seed func(dst *rng.PCG32)
+}
+
+// Outcome couples one item's decided class with the class spike counts that
+// produced it.
+type Outcome struct {
+	Class  int
+	Counts []int64
+}
+
+// ClassifyItems classifies a heterogeneous batch: item i uses its own spf and
+// draws all randomness from its own stream. Because every stream is derived
+// from the item alone, outcomes are bit-identical to classifying each item in
+// its own single-item batch — coalescing is invisible to results.
+func (e *Engine) ClassifyItems(items []Item) ([]Outcome, error) {
+	out := make([]Outcome, len(items))
+	err := RunSeeded(e.cfg, len(items),
+		func(i int, dst *rng.PCG32) { items[i].Seed(dst) },
+		func() Scratch { return e.scratch.Get() },
+		func(s Scratch, i int, src *rng.PCG32) {
+			counts := make([]int64, e.p.Classes())
+			e.p.Frame(s, items[i].X, items[i].SPF, src, counts)
+			out[i] = Outcome{Class: e.p.Decide(counts), Counts: counts}
+		},
+		func(s Scratch) { e.scratch.Put(s) })
 	if err != nil {
 		return nil, err
 	}

@@ -358,3 +358,101 @@ func TestRunStreamsMatchSerialSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSeededDerivationOrder: seed fns run serially in item order before
+// the fan-out, so a derivation that mutates shared state (like SplitInto)
+// still yields deterministic streams under any worker count.
+func TestRunSeededDerivationOrder(t *testing.T) {
+	const n = 40
+	for _, workers := range []int{1, 6} {
+		calls := make([]int, 0, n)
+		root := rng.NewPCG32(3, 3)
+		got := make([]uint32, n)
+		err := RunSeeded(Config{Workers: workers}, n,
+			func(i int, dst *rng.PCG32) {
+				calls = append(calls, i) // serial: no lock needed
+				root.SplitInto(dst, uint64(i))
+			},
+			func() int { return 0 },
+			func(_ int, i int, src *rng.PCG32) { got[i] = src.Uint32() }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range calls {
+			if c != i {
+				t.Fatalf("workers=%d: seed call %d was for item %d", workers, i, c)
+			}
+		}
+		ref := rng.NewPCG32(3, 3)
+		for i := range got {
+			if want := ref.Split(uint64(i)).Uint32(); got[i] != want {
+				t.Fatalf("workers=%d item %d drew %d, want %d", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestClassifyItemsMatchesSingleItemBatches: coalescing heterogeneous items
+// (distinct seeds, distinct spf) into one batch must be bit-identical to
+// classifying each item alone, for any worker count — the determinism
+// contract a serving micro-batcher builds on.
+func TestClassifyItemsMatchesSingleItemBatches(t *testing.T) {
+	const n = 43
+	items := make([]Item, n)
+	for i := range items {
+		seed, spf := uint64(1000+i), 1+i%4
+		items[i] = Item{
+			X:    []float64{float64(i % 5)},
+			SPF:  spf,
+			Seed: func(dst *rng.PCG32) { dst.Seed(seed, 7) },
+		}
+	}
+	solo := New(&toyPredictor{classes: 4}, Config{Workers: 1})
+	want := make([]Outcome, n)
+	for i := range items {
+		out, err := solo.ClassifyItems(items[i : i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out[0]
+	}
+	for _, workers := range []int{1, 4, 16} {
+		e := New(&toyPredictor{classes: 4}, Config{Workers: workers})
+		got, err := e.ClassifyItems(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Class != want[i].Class {
+				t.Fatalf("workers=%d item %d: class %d vs solo %d", workers, i, got[i].Class, want[i].Class)
+			}
+			for k := range got[i].Counts {
+				if got[i].Counts[k] != want[i].Counts[k] {
+					t.Fatalf("workers=%d item %d class %d: count %d vs solo %d",
+						workers, i, k, got[i].Counts[k], want[i].Counts[k])
+				}
+			}
+		}
+	}
+}
+
+// TestClassifyItemsEmptyAndCancel: empty batches are a no-op and a canceled
+// context surfaces as the context error.
+func TestClassifyItemsEmptyAndCancel(t *testing.T) {
+	e := New(&toyPredictor{classes: 2}, Config{})
+	out, err := e.ClassifyItems(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch = %v, %v", out, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := New(&toyPredictor{classes: 2}, Config{Workers: 2, Ctx: ctx})
+	items := make([]Item, 20)
+	for i := range items {
+		seed := uint64(i)
+		items[i] = Item{X: []float64{0}, SPF: 1, Seed: func(dst *rng.PCG32) { dst.Seed(seed, 1) }}
+	}
+	if _, err := ec.ClassifyItems(items); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -130,6 +130,9 @@ func TestAverageSavedPctEmpty(t *testing.T) {
 }
 
 func TestRunnerCachesModelsAndData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
 	r := NewRunner(testOptions(), nil)
 	b, _ := BenchByID(1)
 	tr1, te1 := r.Data(b)
@@ -172,6 +175,9 @@ func TestTable1(t *testing.T) {
 }
 
 func TestSection31SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
 	r := NewRunner(testOptions(), nil)
 	s, err := Section31(r)
 	if err != nil {
@@ -194,6 +200,9 @@ func TestSection31SmallScale(t *testing.T) {
 }
 
 func TestFig5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
 	r := NewRunner(testOptions(), nil)
 	f, err := Fig5(r)
 	if err != nil {
@@ -225,6 +234,9 @@ func TestFig5SmallScale(t *testing.T) {
 }
 
 func TestFig4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
 	opt := testOptions()
 	opt.EpochsN = 8 // enough for the biased penalty (warmup 2) to polarize
 	opt.OutDir = t.TempDir()
@@ -250,6 +262,9 @@ func TestFig4SmallScale(t *testing.T) {
 }
 
 func TestFig7Table2Fig9SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
 	r := NewRunner(testOptions(), nil)
 	f, err := Fig7(r)
 	if err != nil {
@@ -282,6 +297,9 @@ func TestFig7Table2Fig9SmallScale(t *testing.T) {
 }
 
 func TestTable2bSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
 	r := NewRunner(testOptions(), nil)
 	t2b, err := Table2b(r)
 	if err != nil {
@@ -297,6 +315,9 @@ func TestTable2bSmallScale(t *testing.T) {
 }
 
 func TestAblationsSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
 	r := NewRunner(testOptions(), nil)
 	sig, err := AblationSigma(r)
 	if err != nil {

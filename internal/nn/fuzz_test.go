@@ -1,0 +1,173 @@
+package nn_test
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/synth/digits"
+	"repro/internal/tensor"
+)
+
+var (
+	digitsNetOnce sync.Once
+	digitsNetJSON []byte
+)
+
+// trainedDigitsJSON serializes a briefly trained digits network once per
+// process: a realistic seed corpus entry with warped float weights, partial
+// exports and a merged readout.
+func trainedDigitsJSON(tb testing.TB) []byte {
+	tb.Helper()
+	digitsNetOnce.Do(func() {
+		cfg := digits.DefaultConfig()
+		cfg.Train, cfg.Test = 240, 1
+		train, _ := digits.Generate(cfg)
+		// A tiny grid keeps the serialized corpus entry small: the Go fuzzer's
+		// mutation throughput collapses on inputs beyond a few KB.
+		arch := &nn.Arch{
+			Name: "fuzz-digits", InputH: 28, InputW: 28,
+			Block: 4, Stride: 24, CoreSize: 16, Classes: 10, Tau: 10,
+		}
+		net, err := arch.Build(rng.NewPCG32(1, 1), 1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tcfg := nn.TrainConfig{Epochs: 1, Batch: 32, LR: 0.1, Momentum: 0.9, Seed: 1}
+		if _, err := nn.Train(net, train, tcfg); err != nil {
+			tb.Fatal(err)
+		}
+		// Round the trained weights to 3 decimals: still a valid trained
+		// network, but the JSON shrinks ~5x, which the mutation engine needs.
+		for _, l := range net.Layers {
+			for _, c := range l.Cores {
+				for i, v := range c.W.Data {
+					c.W.Data[i] = math.Round(v*1000) / 1000
+				}
+				for i, v := range c.Bias {
+					c.Bias[i] = math.Round(v*1000) / 1000
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := net.Write(&buf); err != nil {
+			tb.Fatal(err)
+		}
+		digitsNetJSON = buf.Bytes()
+	})
+	return digitsNetJSON
+}
+
+// handcraftedJSON serializes a tiny two-core network, a cheap-to-mutate seed.
+func handcraftedJSON(tb testing.TB) []byte {
+	tb.Helper()
+	net := &nn.Network{
+		Layers: []*nn.CoreLayer{{InDim: 3, Cores: []*nn.CoreSpec{
+			{In: []int{0, 1, 2}, W: tensor.FromSlice(2, 3, []float64{0.5, -1, 0, 1, 0.25, -0.75}), Bias: []float64{0, -0.5}, Exports: 2},
+			{In: []int{0, 2}, W: tensor.FromSlice(2, 2, []float64{1, -1, 0.1, 0.9}), Bias: []float64{0.5, 1}, Exports: 1},
+		}}},
+		Readout:    nn.NewMergeReadout(3, 2, 4),
+		CMax:       1,
+		SigmaFloor: 1e-3,
+	}
+	var buf bytes.Buffer
+	if err := net.Write(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSerializeRoundTrip: any bytes nn.Read accepts must re-serialize
+// losslessly — write(read(data)) re-reads to an identical second write — and
+// bytes it rejects must error cleanly rather than panic or over-allocate.
+// The seed corpus anchors the valid region (a trained digits net, a
+// handcrafted net) and known tripwires around the readout and dimension
+// checks.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	f.Add(trainedDigitsJSON(f))
+	f.Add(handcraftedJSON(f))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"cmax":1,"layers":[]}`))
+	// Readout over an empty network used to index out of range.
+	f.Add([]byte(`{"cmax":1,"readout_classes":3}`))
+	// Readout wider than the final layer used to panic in NewMergeReadout.
+	f.Add([]byte(`{"cmax":1,"layers":[{"in_dim":1,"cores":[{"in":[0],"rows":1,"cols":1,"w":[0.5],"bias":[0],"exports":1}]}],"readout_classes":5}`))
+	// Export counts far past the neuron count used to drive a huge readout
+	// allocation before validation.
+	f.Add([]byte(`{"cmax":1,"layers":[{"in_dim":1,"cores":[{"in":[0],"rows":1,"cols":1,"w":[0.5],"bias":[0],"exports":1000000000000}]}],"readout_classes":1}`))
+	// Negative dims with a consistent product.
+	f.Add([]byte(`{"cmax":1,"layers":[{"in_dim":1,"cores":[{"in":[0],"rows":-1,"cols":-1,"w":[0.5],"bias":[0]}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n1, err := nn.Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var b1 bytes.Buffer
+		if err := n1.Write(&b1); err != nil {
+			t.Fatalf("write of accepted network failed: %v", err)
+		}
+		n2, err := nn.Read(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("reload of own serialization failed: %v\n%s", err, b1.Bytes())
+		}
+		var b2 bytes.Buffer
+		if err := n2.Write(&b2); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("serialize round trip not stable:\nfirst  %s\nsecond %s", b1.Bytes(), b2.Bytes())
+		}
+		if n1.NumCores() != n2.NumCores() || n1.NumWeights() != n2.NumWeights() {
+			t.Fatalf("reloaded structure differs: %d/%d cores, %d/%d weights",
+				n1.NumCores(), n2.NumCores(), n1.NumWeights(), n2.NumWeights())
+		}
+	})
+}
+
+// TestReadRejectsMalformedWithoutPanic pins the hardened error paths the fuzz
+// seeds above encode, so they stay regression-tested even in plain test runs.
+func TestReadRejectsMalformedWithoutPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty object", `{}`},
+		{"no layers", `{"cmax":1,"layers":[]}`},
+		{"readout without layers", `{"cmax":1,"readout_classes":3}`},
+		{"readout wider than layer", `{"cmax":1,"layers":[{"in_dim":1,"cores":[{"in":[0],"rows":1,"cols":1,"w":[0.5],"bias":[0],"exports":1}]}],"readout_classes":5}`},
+		{"huge exports", `{"cmax":1,"layers":[{"in_dim":1,"cores":[{"in":[0],"rows":1,"cols":1,"w":[0.5],"bias":[0],"exports":1000000000000}]}],"readout_classes":1}`},
+		{"negative dims", `{"cmax":1,"layers":[{"in_dim":1,"cores":[{"in":[0],"rows":-1,"cols":-1,"w":[0.5],"bias":[0]}]}]}`},
+		{"weight count mismatch", `{"cmax":1,"layers":[{"in_dim":2,"cores":[{"in":[0,1],"rows":1,"cols":2,"w":[0.5],"bias":[0]}]}]}`},
+		{"input index out of range", `{"cmax":1,"layers":[{"in_dim":1,"cores":[{"in":[9],"rows":1,"cols":1,"w":[0.5],"bias":[0],"exports":1}]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := nn.Read(bytes.NewReader([]byte(tc.data))); err == nil {
+				t.Fatal("malformed network accepted")
+			}
+		})
+	}
+}
+
+// TestSerializeRoundTripTrainedNet: the trained digits corpus entry itself
+// must survive a full save/load cycle bit-for-bit.
+func TestSerializeRoundTripTrainedNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a small net")
+	}
+	data := trainedDigitsJSON(t)
+	net, err := nn.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := net.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again.Bytes()) {
+		t.Fatal("trained net serialization not stable")
+	}
+}

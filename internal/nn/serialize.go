@@ -66,7 +66,7 @@ func Read(r io.Reader) (*Network, error) {
 	for li, jl := range jn.Layers {
 		l := &CoreLayer{InDim: jl.InDim}
 		for ci, jc := range jl.Cores {
-			if len(jc.W) != jc.Rows*jc.Cols {
+			if jc.Rows < 0 || jc.Cols < 0 || len(jc.W) != jc.Rows*jc.Cols {
 				return nil, fmt.Errorf("nn: layer %d core %d: %d weights for %dx%d", li, ci, len(jc.W), jc.Rows, jc.Cols)
 			}
 			l.Cores = append(l.Cores, &CoreSpec{
@@ -76,11 +76,19 @@ func Read(r io.Reader) (*Network, error) {
 		}
 		n.Layers = append(n.Layers, l)
 	}
-	if jn.ReadoutClasses > 0 {
-		n.Readout = NewMergeReadout(n.Layers[len(n.Layers)-1].OutDim(), jn.ReadoutClasses, jn.ReadoutTau)
-	}
+	// Validate the core structure before sizing the readout from it: OutDim
+	// sums per-core export counts, which malformed input can inflate far past
+	// the actual neuron counts (and NewMergeReadout panics rather than erring
+	// on impossible widths).
 	if err := n.Validate(); err != nil {
 		return nil, fmt.Errorf("nn: loaded model invalid: %w", err)
+	}
+	if jn.ReadoutClasses > 0 {
+		out := n.Layers[len(n.Layers)-1].OutDim()
+		if jn.ReadoutClasses > out {
+			return nil, fmt.Errorf("nn: loaded model invalid: %d readout classes exceed final layer width %d", jn.ReadoutClasses, out)
+		}
+		n.Readout = NewMergeReadout(out, jn.ReadoutClasses, jn.ReadoutTau)
 	}
 	return n, nil
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeClassify measures end-to-end request throughput through the
+// full HTTP + micro-batching pipeline on one warm model, under the default
+// production batching config (2ms coalescing window). The serial case is the
+// single-request baseline: one client, one request in flight, so every
+// request waits out the window deadline — the latency cost of dynamic
+// batching when the server is idle. The concurrent case is the same server
+// under parallel load: batches hit MaxBatch and flush on size before the
+// deadline, so throughput scales back to engine/HTTP-bound (and, on
+// multi-core hosts, to parallel engine fan-out on top). The acceptance bar
+// is concurrent req/s >= 2x serial req/s.
+func BenchmarkServeClassify(b *testing.B) {
+	net := testNet(b, 31, 256, 128, 4)
+	body := func() []byte {
+		x := make([]float64, 256)
+		for i := range x {
+			x[i] = float64(i%16) / 16
+		}
+		raw, err := json.Marshal(ClassifyRequest{Model: "m", Seed: 1, SPF: 4, Input: x})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return raw
+	}()
+	newServer := func(b *testing.B) (*httptest.Server, func()) {
+		reg := NewRegistry()
+		if _, err := reg.Register("m", net, nil); err != nil {
+			b.Fatal(err)
+		}
+		srv := NewServer(reg, Config{MaxBatch: 16, QueueCap: 1024, FlushWorkers: 4})
+		ts := httptest.NewServer(srv.Handler())
+		return ts, func() { ts.Close(); srv.Close() }
+	}
+	post := func(b *testing.B, client *http.Client, url string) {
+		resp, err := client.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		ts, shutdown := newServer(b)
+		defer shutdown()
+		client := ts.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, client, ts.URL)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		ts, shutdown := newServer(b)
+		defer shutdown()
+		client := ts.Client()
+		b.SetParallelism(32)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				post(b, client, ts.URL)
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}

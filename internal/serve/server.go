@@ -1,0 +1,392 @@
+// Package serve is the dynamic-batching inference service in front of the
+// batched engine: an HTTP layer that accepts single and batched classify
+// requests, coalesces concurrent requests into engine batches through a
+// size- and deadline-triggered micro-batcher with a bounded queue, and serves
+// them from a registry of trained networks compiled once into
+// deploy.QuantPlans with a warm cache of sampled copies per (model, seed).
+//
+// The load-bearing property is determinism: every random draw a request
+// consumes is derived from the request alone — the sampled copy from
+// (model, seed) via SampleStream, item i's inference stream from
+// (seed, FrameStream+i) — so a response is bit-identical to a direct offline
+// deploy.FastPredictor call with the same derivation, no matter how requests
+// were coalesced, how many workers ran the batch, or what other traffic
+// shared the flush. That contract is what makes the whole layer testable
+// end-to-end (and is pinned by the e2e suite).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// Config tunes the serving pipeline. The zero value serves with defaults.
+type Config struct {
+	// MaxBatch is the size-triggered flush threshold (default 64).
+	MaxBatch int
+	// Window is the deadline-triggered flush latency bound (default 2ms;
+	// negative = flush immediately, no coalescing wait).
+	Window time.Duration
+	// QueueCap bounds the pending-item queue (default 4*MaxBatch); a full
+	// queue blocks request handlers (backpressure) instead of buffering
+	// without limit.
+	QueueCap int
+	// FlushWorkers is the number of concurrent batch executors (default 2).
+	FlushWorkers int
+	// Workers caps engine parallelism inside one batch (0 = GOMAXPROCS).
+	Workers int
+	// MaxSPF caps a request's spikes-per-frame (default 64).
+	MaxSPF int
+	// MaxItems caps inputs per request (default 256).
+	MaxItems int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Window == 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.MaxSPF <= 0 {
+		c.MaxSPF = 64
+	}
+	if c.MaxItems <= 0 {
+		c.MaxItems = 256
+	}
+	return c
+}
+
+// ClassifyRequest is the /v1/classify payload. Exactly one of Input (single)
+// or Inputs (batched) must be set. Seed fixes every random draw of the
+// request; two requests with equal (model, seed, spf, inputs) always receive
+// bit-identical responses.
+type ClassifyRequest struct {
+	Model  string      `json:"model"`
+	Seed   uint64      `json:"seed"`
+	SPF    int         `json:"spf,omitempty"`
+	Input  []float64   `json:"input,omitempty"`
+	Inputs [][]float64 `json:"inputs,omitempty"`
+}
+
+// ClassifyResult is one input's outcome: the decided class and the merged
+// per-class spike counts behind the decision.
+type ClassifyResult struct {
+	Class  int     `json:"class"`
+	Counts []int64 `json:"counts"`
+}
+
+// ClassifyResponse is the /v1/classify reply; Results aligns with the
+// request's inputs.
+type ClassifyResponse struct {
+	Model   string           `json:"model"`
+	Seed    uint64           `json:"seed"`
+	SPF     int              `json:"spf"`
+	Results []ClassifyResult `json:"results"`
+}
+
+// ModelInfo is one /v1/models row.
+type ModelInfo struct {
+	Name     string  `json:"name"`
+	Classes  int     `json:"classes"`
+	InputDim int     `json:"input_dim"`
+	Layers   int     `json:"layers"`
+	Cores    int     `json:"cores"`
+	Penalty  string  `json:"penalty,omitempty"`
+	FloatAcc float64 `json:"float_accuracy,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// inflight tracks one request's items through the pipeline; done closes when
+// the last item has been classified.
+type inflight struct {
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// queued is one item in the micro-batcher: everything its classification
+// needs, resolved before submission so the flush path is pure compute.
+type queued struct {
+	entry *ModelEntry
+	sn    *deploy.SampledNet
+	x     []float64
+	spf   int
+	seed  uint64 // request seed
+	item  uint64 // index within the request
+	enq   time.Time
+	req   *inflight
+	res   ClassifyResult
+	err   error
+}
+
+// Server is the dynamic-batching inference service. Create with NewServer,
+// expose Handler over HTTP, Close to drain.
+type Server struct {
+	reg     *Registry
+	cfg     Config
+	batcher *Batcher[*queued]
+	mux     *http.ServeMux
+	start   time.Time
+	items   atomic.Int64
+}
+
+// NewServer builds a server over reg.
+func NewServer(reg *Registry, cfg Config) *Server {
+	s := &Server{reg: reg, cfg: cfg.withDefaults(), start: time.Now()}
+	s.batcher = NewBatcher(BatcherConfig{
+		MaxBatch:     s.cfg.MaxBatch,
+		Window:       max(s.cfg.Window, 0),
+		QueueCap:     s.cfg.QueueCap,
+		FlushWorkers: s.cfg.FlushWorkers,
+	}, s.flushBatch)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/debug/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains gracefully: new submissions are refused, every accepted item
+// is still classified, and all in-flight flushes complete before Close
+// returns. Call after the HTTP listener has stopped accepting requests.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	out := Stats{
+		UptimeS:    time.Since(s.start).Seconds(),
+		QueueDepth: s.batcher.Depth(),
+		Flushes:    s.batcher.Flushes(),
+		ItemsTotal: s.items.Load(),
+		Models:     make(map[string]ModelStats),
+	}
+	for _, name := range s.reg.Names() {
+		if e, ok := s.reg.Get(name); ok {
+			out.Models[name] = e.snapshot()
+		}
+	}
+	return out
+}
+
+// flushBatch classifies one coalesced batch: items group by model, and each
+// group fans out through engine.RunSeeded with every item's stream derived
+// from its own (seed, item) pair — grouping and scheduling cannot influence
+// results.
+func (s *Server) flushBatch(batch []*queued) {
+	groups := make(map[*ModelEntry][]*queued)
+	for _, q := range batch {
+		groups[q.entry] = append(groups[q.entry], q)
+	}
+	for entry, items := range groups {
+		entry.stats.batches.Add(1)
+		// RunSeeded only errors on context cancellation, and serving batches
+		// run uncancelled: accepted work is always finished (graceful drain).
+		_ = engine.RunSeeded(engine.Config{Workers: s.cfg.Workers}, len(items),
+			func(i int, dst *rng.PCG32) { dst.Seed(items[i].seed, FrameStream+items[i].item) },
+			func() *deploy.FrameScratch { return entry.scratch.Get().(*deploy.FrameScratch) },
+			func(fs *deploy.FrameScratch, i int, src *rng.PCG32) {
+				s.classifyOne(entry, items[i], fs, src)
+			},
+			func(fs *deploy.FrameScratch) { entry.scratch.Put(fs) })
+		entry.stats.items.Add(int64(len(items)))
+		s.items.Add(int64(len(items)))
+	}
+	for _, q := range batch {
+		if q.req.remaining.Add(-1) == 0 {
+			close(q.req.done)
+		}
+	}
+}
+
+func (s *Server) classifyOne(entry *ModelEntry, q *queued, fs *deploy.FrameScratch, src *rng.PCG32) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Defensive: a panicking frame must fail one request, not the
+			// whole service. The stack goes to the server log only; the
+			// client sees a generic error.
+			log.Printf("serve: classify panic (model %s, seed %d, item %d): %v\n%s",
+				entry.Name, q.seed, q.item, p, debug.Stack())
+			q.err = fmt.Errorf("internal error classifying item %d", q.item)
+		}
+	}()
+	pred := &deploy.FastPredictor{Net: q.sn}
+	counts := make([]int64, entry.Plan.Classes())
+	pred.Frame(fs, q.x, q.spf, src, counts)
+	q.res = ClassifyResult{Class: pred.Decide(counts), Counts: counts}
+	entry.stats.recordLatency(time.Since(q.enq).Nanoseconds())
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	var req ClassifyRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	entry, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+	inputs := req.Inputs
+	switch {
+	case req.Input != nil && req.Inputs != nil:
+		s.reject(entry, w, http.StatusBadRequest, `set exactly one of "input" and "inputs"`)
+		return
+	case req.Input != nil:
+		inputs = [][]float64{req.Input}
+	case len(inputs) == 0:
+		s.reject(entry, w, http.StatusBadRequest, "no inputs")
+		return
+	}
+	if len(inputs) > s.cfg.MaxItems {
+		s.reject(entry, w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d inputs exceeds limit %d", len(inputs), s.cfg.MaxItems))
+		return
+	}
+	spf := req.SPF
+	if spf == 0 {
+		spf = 1
+	}
+	if spf < 1 || spf > s.cfg.MaxSPF {
+		s.reject(entry, w, http.StatusBadRequest,
+			fmt.Sprintf("spf %d outside [1,%d]", req.SPF, s.cfg.MaxSPF))
+		return
+	}
+	dim := entry.Plan.InputDim()
+	for i, x := range inputs {
+		if len(x) == 0 || len(x) > dim {
+			s.reject(entry, w, http.StatusBadRequest,
+				fmt.Sprintf("input %d has %d features, model takes 1-%d", i, len(x), dim))
+			return
+		}
+	}
+
+	entry.stats.requests.Add(1)
+	sn := entry.Sampled(req.Seed)
+	inf := &inflight{done: make(chan struct{})}
+	inf.remaining.Store(int64(len(inputs)))
+	items := make([]*queued, len(inputs))
+	now := time.Now()
+	for i, x := range inputs {
+		items[i] = &queued{
+			entry: entry, sn: sn, x: x, spf: spf,
+			seed: req.Seed, item: uint64(i), enq: now, req: inf,
+		}
+	}
+	submitted := 0
+	var submitErr error
+	for _, q := range items {
+		if submitErr = s.batcher.Submit(r.Context(), q); submitErr != nil {
+			break
+		}
+		submitted++
+	}
+	if submitErr != nil {
+		// Release the slots the unsubmitted tail holds, then wait out the
+		// submitted prefix — graceful drain guarantees it completes.
+		if inf.remaining.Add(-int64(len(items)-submitted)) == 0 {
+			close(inf.done)
+		}
+		<-inf.done
+		entry.stats.errors.Add(1)
+		status := http.StatusServiceUnavailable
+		if errors.Is(submitErr, r.Context().Err()) && r.Context().Err() != nil {
+			status = http.StatusRequestTimeout
+		}
+		writeError(w, status, "not accepted: "+submitErr.Error())
+		return
+	}
+	<-inf.done
+	for _, q := range items {
+		if q.err != nil {
+			entry.stats.errors.Add(1)
+			writeError(w, http.StatusInternalServerError, q.err.Error())
+			return
+		}
+	}
+	resp := ClassifyResponse{Model: req.Model, Seed: req.Seed, SPF: spf,
+		Results: make([]ClassifyResult, len(items))}
+	for i, q := range items {
+		resp.Results[i] = q.res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reject counts a validation failure against the model before replying.
+func (s *Server) reject(entry *ModelEntry, w http.ResponseWriter, status int, msg string) {
+	entry.stats.errors.Add(1)
+	writeError(w, status, msg)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	names := s.reg.Names()
+	out := make([]ModelInfo, 0, len(names))
+	for _, name := range names {
+		e, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		info := ModelInfo{
+			Name:     name,
+			Classes:  e.Plan.Classes(),
+			InputDim: e.Plan.InputDim(),
+			Layers:   e.Plan.Depth(),
+			Cores:    e.Plan.NumCores(),
+		}
+		if e.Meta != nil {
+			info.Penalty = e.Meta.Penalty
+			info.FloatAcc = e.Meta.FloatAccuracy
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

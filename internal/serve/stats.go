@@ -1,0 +1,74 @@
+package serve
+
+import "sync/atomic"
+
+// modelStats accumulates per-model serving counters with atomics; the
+// /debug/stats handler snapshots them into ModelStats.
+type modelStats struct {
+	requests atomic.Int64 // classify requests accepted for this model
+	items    atomic.Int64 // items classified
+	errors   atomic.Int64 // requests rejected or failed
+	batches  atomic.Int64 // engine batch groups that contained this model
+	latNS    atomic.Int64 // summed per-item queue+compute latency
+	maxLatNS atomic.Int64
+}
+
+func (s *modelStats) recordLatency(ns int64) {
+	s.latNS.Add(ns)
+	for {
+		cur := s.maxLatNS.Load()
+		if ns <= cur || s.maxLatNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ModelStats is the JSON snapshot of one model's serving counters.
+type ModelStats struct {
+	Requests int64 `json:"requests"`
+	Items    int64 `json:"items"`
+	Errors   int64 `json:"errors"`
+	// Batches counts engine runs that served this model; Items/Batches is the
+	// realized mean batch size.
+	Batches      int64   `json:"batches"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+	// Latency is measured per item from enqueue to classified.
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	MaxLatencyMS float64 `json:"max_latency_ms"`
+	// Warm sampled-copy cache effectiveness.
+	SampleCacheHits   int64 `json:"sample_cache_hits"`
+	SampleCacheMisses int64 `json:"sample_cache_misses"`
+}
+
+// Stats is the /debug/stats payload.
+type Stats struct {
+	UptimeS    float64 `json:"uptime_s"`
+	QueueDepth int     `json:"queue_depth"`
+	// Flushes counts dispatched micro-batches across all models; ItemsTotal /
+	// UptimeS is the served throughput.
+	Flushes    int64                 `json:"flushes"`
+	ItemsTotal int64                 `json:"items_total"`
+	Models     map[string]ModelStats `json:"models"`
+}
+
+func (e *ModelEntry) snapshot() ModelStats {
+	s := &e.stats
+	items, batches := s.items.Load(), s.batches.Load()
+	hits, misses := e.CacheStats()
+	out := ModelStats{
+		Requests:          s.requests.Load(),
+		Items:             items,
+		Errors:            s.errors.Load(),
+		Batches:           batches,
+		MaxLatencyMS:      float64(s.maxLatNS.Load()) / 1e6,
+		SampleCacheHits:   hits,
+		SampleCacheMisses: misses,
+	}
+	if batches > 0 {
+		out.AvgBatchSize = float64(items) / float64(batches)
+	}
+	if items > 0 {
+		out.AvgLatencyMS = float64(s.latNS.Load()) / float64(items) / 1e6
+	}
+	return out
+}
