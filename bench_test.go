@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/deploy"
 	"repro/internal/engine"
 	"repro/internal/eval"
@@ -363,6 +364,65 @@ func BenchmarkEncodeInput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for t := 0; t < spf; t++ {
 			sn.EncodeFrameTick(fs, x, t, spf, src)
+		}
+	}
+}
+
+// trainEpochFixture builds the standalone bench-1 training workload shared by
+// the SGD-loop benchmarks: 1024 synthetic digits and a freshly initialized
+// bench-1 network. It deliberately avoids runner(b) so the CI benchmark smoke
+// (-bench=BenchmarkTrainEpoch -benchtime=1x) never trains fixture models.
+func trainEpochFixture(b *testing.B) (*nn.Network, *dataset.Dataset) {
+	b.Helper()
+	bench, _ := eval.BenchByID(1)
+	dcfg := digits.Config{Train: 1024, Test: 16, Seed: 7, Jitter: 1, Noise: 0.06}
+	train, _ := digits.Generate(dcfg)
+	net, err := bench.Arch.Build(rng.NewPCG32(1, 1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, train
+}
+
+// BenchmarkTrainEpoch measures one full SGD epoch of the paper's learning
+// method on the bench-1 architecture (1024 samples, batch 32, 8 workers) —
+// the training hot loop behind every Table 1 / Figure 7 model.
+func BenchmarkTrainEpoch(b *testing.B) {
+	net, train := trainEpochFixture(b)
+	cfg := nn.TrainConfig{Epochs: 1, Batch: 32, LR: 0.1, Momentum: 0.9, Seed: 1, Workers: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.Train(net, train, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate measures expectation-model ("Caffe") accuracy evaluation
+// on the bench-1 network — the float-accuracy pass run after every training.
+func BenchmarkEvaluate(b *testing.B) {
+	net, train := trainEpochFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if acc := nn.Evaluate(net, train, 8); acc < 0 {
+			b.Fatal("bad accuracy")
+		}
+	}
+}
+
+// BenchmarkTrainEpochMLP measures one SGD epoch of the dense 784-300-100-10
+// MLP baseline (section 3.3) on the same 1024-sample corpus.
+func BenchmarkTrainEpochMLP(b *testing.B) {
+	_, train := trainEpochFixture(b)
+	m := nn.NewMLP(rng.NewPCG32(2, 2), 784, 300, 100, 10)
+	cfg := nn.MLPTrainConfig{Epochs: 1, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 1, Workers: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nn.TrainMLP(m, train, cfg); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

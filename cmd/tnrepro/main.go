@@ -43,6 +43,8 @@ func run() (code int) {
 		testN      = flag.Int("test", 0, "override test set size")
 		epochs     = flag.Int("epochs", 0, "override training epochs")
 		repeats    = flag.Int("repeats", 0, "override deployment repeats")
+		batch      = flag.Int("batch", 0, "override SGD minibatch size (default 32)")
+		trainOnly  = flag.Bool("trainonly", false, "train the selected experiments' models, then exit before any deployment evaluation (so -cpuprofile/-memprofile capture the SGD loop alone)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -90,7 +92,8 @@ func run() (code int) {
 	opt := eval.Options{
 		Quick: *quick, Seed: *seed, Workers: *workers, OutDir: *outDir,
 		TrainN: *trainN, TestN: *testN, EpochsN: *epochs, RepeatsN: *repeats,
-		Ctx: ctx,
+		BatchN: *batch,
+		Ctx:    ctx,
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -109,6 +112,17 @@ func run() (code int) {
 			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "ablations"}
 	}
 	start := time.Now()
+	if *trainOnly {
+		for _, id := range ids {
+			if err := eval.Pretrain(r, strings.TrimSpace(id)); err != nil {
+				return fail(fmt.Errorf("pretrain %s: %w", id, err))
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "trainonly: models trained in %v, skipping deployment\n", time.Since(start).Round(time.Second))
+		}
+		return 0
+	}
 	// fig7 results feed table2a and fig9a; compute lazily and share.
 	var fig7 *eval.Fig7Result
 	getFig7 := func() (*eval.Fig7Result, error) {

@@ -25,6 +25,7 @@ func main() {
 		seed    = flag.Uint64("seed", 20160605, "master seed")
 		workers = flag.Int("workers", 0, "goroutine cap")
 		epochs  = flag.Int("epochs", 0, "override epochs")
+		batch   = flag.Int("batch", 0, "override SGD minibatch size (default 32)")
 		out     = flag.String("o", "model.json", "output model path")
 	)
 	flag.Parse()
@@ -33,7 +34,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, EpochsN: *epochs}
+	opt := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, EpochsN: *epochs, BatchN: *batch}
 	r := eval.NewRunner(opt, os.Stderr)
 	train, test := r.Data(b)
 	cfg, defLambda := opt.TrainConfig(*penalty)

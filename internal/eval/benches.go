@@ -101,6 +101,10 @@ type Options struct {
 	// TrainN, TestN, EpochsN and RepeatsN, when positive, override the
 	// Quick/full defaults (used by unit tests and custom CLI runs).
 	TrainN, TestN, EpochsN, RepeatsN int
+	// BatchN, when positive, overrides the SGD minibatch size (default 32).
+	// Larger batches feed the batched training kernels bigger panels per
+	// worker shard.
+	BatchN int
 	// Ctx, when non-nil, cancels in-flight deployment evaluations (the
 	// engine checks it between frames).
 	Ctx context.Context
@@ -176,12 +180,20 @@ func (o Options) proteinConfig() protein.Config {
 	return cfg
 }
 
+// Batch returns the SGD minibatch size.
+func (o Options) Batch() int {
+	if o.BatchN > 0 {
+		return o.BatchN
+	}
+	return 32
+}
+
 // TrainConfig returns the per-bench SGD configuration. One schedule serves
 // all benches; the biased runs add the penalty with a warmup third.
 func (o Options) TrainConfig(penalty string) (nn.TrainConfig, float64) {
 	cfg := nn.TrainConfig{
 		Epochs:   o.Epochs(),
-		Batch:    32,
+		Batch:    o.Batch(),
 		LR:       0.1,
 		Momentum: 0.9,
 		LRDecay:  0.85,

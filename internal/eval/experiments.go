@@ -81,15 +81,15 @@ type L1SparsityResult struct {
 	BaseZeros     []float64 // per layer, without penalty
 }
 
-// L1Sparsity trains the dense MLP with and without L1.
-func L1Sparsity(r *Runner) (*L1SparsityResult, error) {
+// l1SparsityModels trains the two section 3.3 MLPs (no penalty and L1).
+// Split out so Pretrain can run the training phase alone.
+func l1SparsityModels(r *Runner) (base, l1 *nn.MLP, err error) {
 	b, _ := BenchByID(1)
-	train, test := r.Data(b)
-	epochs := r.Opt.Epochs()
+	train, _ := r.Data(b)
 	mk := func(lambda float64) (*nn.MLP, error) {
 		m := nn.NewMLP(rng.NewPCG32(r.Opt.Seed+77, 1), 784, 300, 100, 10)
 		cfg := nn.MLPTrainConfig{
-			Epochs: epochs, Batch: 32, LR: 0.05, Momentum: 0.9, LRDecay: 0.9,
+			Epochs: r.Opt.Epochs(), Batch: r.Opt.Batch(), LR: 0.05, Momentum: 0.9, LRDecay: 0.9,
 			Lambda: lambda, Seed: r.Opt.Seed, Workers: r.Opt.Workers,
 		}
 		if err := nn.TrainMLP(m, train, cfg); err != nil {
@@ -97,11 +97,20 @@ func L1Sparsity(r *Runner) (*L1SparsityResult, error) {
 		}
 		return m, nil
 	}
-	base, err := mk(0)
-	if err != nil {
-		return nil, err
+	if base, err = mk(0); err != nil {
+		return nil, nil, err
 	}
-	l1, err := mk(0.0001)
+	if l1, err = mk(0.0001); err != nil {
+		return nil, nil, err
+	}
+	return base, l1, nil
+}
+
+// L1Sparsity trains the dense MLP with and without L1.
+func L1Sparsity(r *Runner) (*L1SparsityResult, error) {
+	b, _ := BenchByID(1)
+	_, test := r.Data(b)
+	base, l1, err := l1SparsityModels(r)
 	if err != nil {
 		return nil, err
 	}

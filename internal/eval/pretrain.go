@@ -1,0 +1,58 @@
+package eval
+
+import "fmt"
+
+// Pretrain runs the training phase of experiment id without any deployment
+// evaluation. It backs tnrepro's -trainonly flag, so that -cpuprofile /
+// -memprofile runs capture the SGD hot loop alone instead of mixing it with
+// Monte-Carlo deployment noise.
+//
+// Core-layer models land in the runner's cache and are reused by a later
+// experiment run on the same Runner. Two ids are exceptions: "table1" only
+// generates datasets (it trains nothing), and "l1sparsity" trains its two
+// MLPs and discards them (MLPs are not runner-cached), so composing
+// Pretrain with a subsequent L1Sparsity call trains them twice — fine for
+// profiling, wasteful as a warm-up. The ablation experiments additionally
+// train ad-hoc model variants inside their own code paths (frozen variance,
+// penalty shapes, ...); those are likewise not runner-cached, and Pretrain
+// covers only their shared bench-1 models.
+func Pretrain(r *Runner, id string) error {
+	models := func(benchIDs []int, penalties ...string) error {
+		for _, bid := range benchIDs {
+			b, err := BenchByID(bid)
+			if err != nil {
+				return err
+			}
+			for _, pen := range penalties {
+				if _, err := r.Model(b, pen); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	allBenches := []int{1, 2, 3, 4, 5}
+	switch id {
+	case "table1":
+		b1, _ := BenchByID(1)
+		b4, _ := BenchByID(4)
+		r.Data(b1)
+		r.Data(b4)
+		return nil
+	case "section31":
+		return models([]int{1}, "none")
+	case "l1sparsity":
+		_, _, err := l1SparsityModels(r)
+		return err
+	case "fig4":
+		return models([]int{1}, "none", "biased")
+	case "fig5":
+		return models([]int{1}, "none", "l1", "biased")
+	case "fig7", "fig8", "table2a", "table2b", "fig9a", "ablations":
+		return models([]int{1}, "none", "biased")
+	case "fig9b", "table3":
+		return models(allBenches, "none", "biased")
+	default:
+		return fmt.Errorf("eval: pretrain: unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// batchScratch holds the minibatch panel workspaces of one training or
+// evaluation worker shard. Where scratch (nn.go) carries one sample's
+// vectors, batchScratch carries (batch x dim) matrices so a whole shard
+// flows through the tensor package's minibatch kernels in one call chain
+// per core. All float64 panels are carved from a single arena allocation;
+// a shard allocates exactly once and reuses the panels for every batch of
+// the run.
+type batchScratch struct {
+	cap int // maximum batch rows the panels hold
+	// acts[0] is the (batch x InDim) input panel; acts[l+1] holds layer l's
+	// exported activations.
+	acts []*tensor.Matrix
+	// mu, sigma, full are per-layer (batch x totalNeurons) panels over every
+	// neuron of the layer (not just exports), like their scratch analogues.
+	mu, sigma, full []*tensor.Matrix
+	// xg[li][ci] is core ci's gathered (batch x axons) input panel, filled in
+	// the forward pass and reused by the backward pass.
+	xg [][]*tensor.Matrix
+	// scores is the (batch x classes) readout panel.
+	scores *tensor.Matrix
+	// dAct, dFull and probs exist only on gradient-carrying scratches.
+	// dAct[0] is nil: input gradients are never consumed.
+	dAct, dFull []*tensor.Matrix
+	probs       *tensor.Matrix
+	// spike is the tensor-kernel workspace (compacted nonzero panels).
+	spike *tensor.SpikeScratch
+}
+
+// newBatchScratch sizes panels for batches of up to capacity samples.
+// withGrad additionally allocates the backward panels.
+func (n *Network) newBatchScratch(capacity int, withGrad bool) *batchScratch {
+	bs := &batchScratch{cap: capacity}
+	L := len(n.Layers)
+	total := make([]int, L) // neurons per layer
+	maxAxons := 0
+	floats := n.Layers[0].InDim
+	for li, l := range n.Layers {
+		for _, c := range l.Cores {
+			total[li] += c.Neurons()
+			maxAxons = max(maxAxons, c.Axons())
+			floats += c.Axons() // xg
+		}
+		floats += 3*total[li] + l.OutDim() // mu, sigma, full, acts
+		if withGrad {
+			floats += total[li] + l.OutDim() // dFull, dAct
+		}
+	}
+	classes := 0
+	if n.Readout != nil {
+		classes = n.Readout.Classes
+		floats += classes
+		if withGrad {
+			floats += classes
+		}
+	}
+	arena := make([]float64, capacity*floats)
+	carve := func(rows, cols int) *tensor.Matrix {
+		m := tensor.FromSlice(rows, cols, arena[:rows*cols])
+		arena = arena[rows*cols:]
+		return m
+	}
+	bs.acts = make([]*tensor.Matrix, L+1)
+	bs.acts[0] = carve(capacity, n.Layers[0].InDim)
+	bs.mu = make([]*tensor.Matrix, L)
+	bs.sigma = make([]*tensor.Matrix, L)
+	bs.full = make([]*tensor.Matrix, L)
+	bs.xg = make([][]*tensor.Matrix, L)
+	if withGrad {
+		bs.dAct = make([]*tensor.Matrix, L+1)
+		bs.dFull = make([]*tensor.Matrix, L)
+	}
+	for li, l := range n.Layers {
+		bs.mu[li] = carve(capacity, total[li])
+		bs.sigma[li] = carve(capacity, total[li])
+		bs.full[li] = carve(capacity, total[li])
+		bs.acts[li+1] = carve(capacity, l.OutDim())
+		bs.xg[li] = make([]*tensor.Matrix, len(l.Cores))
+		for ci, c := range l.Cores {
+			bs.xg[li][ci] = carve(capacity, c.Axons())
+		}
+		if withGrad {
+			bs.dFull[li] = carve(capacity, total[li])
+			bs.dAct[li+1] = carve(capacity, l.OutDim())
+		}
+	}
+	if n.Readout != nil {
+		bs.scores = carve(capacity, classes)
+		if withGrad {
+			bs.probs = carve(capacity, classes)
+		}
+	}
+	bs.spike = tensor.NewSpikeScratch(capacity, maxAxons)
+	return bs
+}
+
+// rows returns the leading b-row view of a panel.
+func rows(m *tensor.Matrix, b int) *tensor.Matrix { return m.View(0, 0, b, m.Cols) }
+
+// forwardBatch computes all layer activations for the samples idx of inputs
+// into bs. It is the minibatch counterpart of forward: per (sample, neuron)
+// the tensor kernels accumulate the identical Eq. (9)/(14) chains in
+// ascending axon order, so every panel entry is bit-identical to the
+// per-sample path.
+func (n *Network) forwardBatch(bs *batchScratch, inputs [][]float64, idx []int) {
+	b := len(idx)
+	in0 := rows(bs.acts[0], b)
+	for s, si := range idx {
+		copy(in0.Row(s), inputs[si])
+	}
+	for li, l := range n.Layers {
+		in := rows(bs.acts[li], b)
+		out := rows(bs.acts[li+1], b)
+		base, outBase := 0, 0
+		for ci, c := range l.Cores {
+			nr := c.Neurons()
+			xg := rows(bs.xg[li][ci], b)
+			tensor.GatherCols(xg, in, c.In)
+			full := bs.full[li].View(0, base, b, nr)
+			tensor.SpikeForwardBatch(
+				bs.mu[li].View(0, base, b, nr),
+				bs.sigma[li].View(0, base, b, nr),
+				full, xg, c.W, c.Bias,
+				n.CMax, n.SigmaFloor, n.MuOffset, bs.spike)
+			for s := 0; s < b; s++ {
+				copy(out.Row(s)[outBase:outBase+c.Exports], full.Row(s)[:c.Exports])
+			}
+			base += nr
+			outBase += c.Exports
+		}
+	}
+}
+
+// backwardBatch runs backprop for a batch already forwarded in bs, given the
+// loss gradients in bs.dAct[len(Layers)], accumulating into g. Gradient
+// element accumulation order matches backward exactly: ascending sample
+// order per element, ascending (core, neuron, axon) order within a sample —
+// including the scatter into shared input positions when cores overlap — so
+// shard gradients are bit-identical to the per-sample path.
+func (n *Network) backwardBatch(bs *batchScratch, g *netGrads, b int) {
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		dOut := rows(bs.dAct[li+1], b)
+		dFull := rows(bs.dFull[li], b)
+		base, outBase := 0, 0
+		for _, c := range l.Cores {
+			nr := c.Neurons()
+			for s := 0; s < b; s++ {
+				drow := dFull.Row(s)[base : base+nr]
+				copy(drow[:c.Exports], dOut.Row(s)[outBase:outBase+c.Exports])
+				for j := c.Exports; j < nr; j++ {
+					drow[j] = 0
+				}
+			}
+			base += nr
+			outBase += c.Exports
+		}
+		var dIn *tensor.Matrix
+		if li > 0 { // input gradients only needed for deeper layers
+			dIn = rows(bs.dAct[li], b)
+			dIn.Zero()
+		}
+		base = 0
+		for ci, c := range l.Cores {
+			nr := c.Neurons()
+			gc := g.layers[li][ci]
+			tensor.SpikeBackwardBatch(
+				bs.dFull[li].View(0, base, b, nr),
+				bs.mu[li].View(0, base, b, nr),
+				bs.sigma[li].View(0, base, b, nr),
+				rows(bs.xg[li][ci], b), c.W, gc.W, gc.Bias,
+				dIn, c.In, n.CMax, n.SigmaConst, bs.spike)
+			base += nr
+		}
+	}
+}
+
+// scoreBatch fills bs.scores for the b forwarded samples and returns how
+// many argmax predictions match labels[idx[s]].
+func (n *Network) scoreBatch(bs *batchScratch, labels []int, idx []int) int {
+	b := len(idx)
+	out := rows(bs.acts[len(n.Layers)], b)
+	correct := 0
+	for s := 0; s < b; s++ {
+		srow := bs.scores.Row(s)
+		n.Readout.Scores(srow, out.Row(s))
+		if tensor.ArgMax(srow) == labels[idx[s]] {
+			correct++
+		}
+	}
+	return correct
+}

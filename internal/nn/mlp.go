@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/rng"
@@ -42,6 +41,8 @@ func NewMLP(src *rng.PCG32, sizes ...int) *MLP {
 func (m *MLP) Layers() int { return len(m.W) }
 
 // forward computes activations; acts[0] is the input, acts[L] the logits.
+// This is the per-sample reference path (Predict, gradient checks); the
+// training loop runs forwardBatch.
 func (m *MLP) forward(acts [][]float64, x []float64) {
 	copy(acts[0], x)
 	for l, w := range m.W {
@@ -73,6 +74,75 @@ func (m *MLP) Predict(x []float64) []float64 {
 	return acts[len(acts)-1]
 }
 
+// mlpShard owns one gradient-reduction slot of the data-parallel fan-out:
+// gradient buffers plus (batch x dim) activation/delta panels. Shards are
+// separate heap allocations, so per-shard accumulators share no cache lines.
+type mlpShard struct {
+	acts, deltas []*tensor.Matrix
+	labels       []int
+	gW           []*tensor.Matrix
+	gB           [][]float64
+}
+
+// newMLPShard sizes a shard's panels; withGrad additionally allocates the
+// delta panels and gradient buffers (evaluation is forward-only).
+func newMLPShard(m *MLP, capacity int, withGrad bool) *mlpShard {
+	sh := &mlpShard{labels: make([]int, capacity)}
+	sh.acts = append(sh.acts, tensor.New(capacity, m.W[0].Cols))
+	if withGrad {
+		sh.deltas = append(sh.deltas, (*tensor.Matrix)(nil)) // input deltas unused
+	}
+	for _, w := range m.W {
+		sh.acts = append(sh.acts, tensor.New(capacity, w.Rows))
+		if withGrad {
+			sh.deltas = append(sh.deltas, tensor.New(capacity, w.Rows))
+			sh.gW = append(sh.gW, tensor.New(w.Rows, w.Cols))
+			sh.gB = append(sh.gB, make([]float64, w.Rows))
+		}
+	}
+	return sh
+}
+
+// forwardBatch runs the dense layers for b rows of the shard's input panel:
+// one GemmT + bias row-add (+ batched ReLU) per layer.
+func (m *MLP) forwardBatch(sh *mlpShard, b int) {
+	L := len(m.W)
+	for l, w := range m.W {
+		out := rows(sh.acts[l+1], b)
+		tensor.GemmT(out, rows(sh.acts[l], b), w)
+		tensor.AddRowVec(out, m.B[l])
+		if l+1 < L { // hidden: ReLU
+			tensor.Relu(out)
+		}
+	}
+}
+
+// backpropBatch computes gradients for the shard's b gathered samples:
+// batched softmax/loss-grad, then per layer one GemmAT (weight gradients,
+// overwriting — each gW gets exactly one call per batch), one column
+// reduction (bias gradients) and one Gemm (input deltas). Every gradient
+// element accumulates its per-sample terms in ascending sample order,
+// bit-identical to backpropOne called sample by sample.
+func (m *MLP) backpropBatch(sh *mlpShard, b int) {
+	L := len(m.W)
+	dOut := rows(sh.deltas[L], b)
+	tensor.SoftmaxRows(dOut, rows(sh.acts[L], b))
+	tensor.SubOneHot(dOut, sh.labels[:b])
+	for l := L - 1; l >= 0; l-- {
+		d := rows(sh.deltas[l+1], b)
+		tensor.GemmAT(sh.gW[l], d, rows(sh.acts[l], b))
+		for i := range sh.gB[l] {
+			sh.gB[l][i] = 0
+		}
+		tensor.ColSumAcc(sh.gB[l], d)
+		if l > 0 {
+			dPrev := rows(sh.deltas[l], b)
+			tensor.Gemm(dPrev, d, m.W[l])
+			tensor.ReluBackward(dPrev, rows(sh.acts[l], b))
+		}
+	}
+}
+
 // MLPTrainConfig configures TrainMLP.
 type MLPTrainConfig struct {
 	Epochs   int
@@ -85,7 +155,10 @@ type MLPTrainConfig struct {
 	Workers  int
 }
 
-// TrainMLP runs minibatch SGD with momentum and optional L1 penalty.
+// TrainMLP runs minibatch SGD with momentum and optional L1 penalty. Like
+// Train, the hot loop is batched over the tensor GEMM kernels on a
+// persistent work-stealing pool with a fixed-order gradient reduction, and
+// stays bit-identical to the per-sample reference (pinned by batch_test.go).
 func TrainMLP(m *MLP, train *dataset.Dataset, cfg MLPTrainConfig) error {
 	if train.Len() == 0 {
 		return fmt.Errorf("nn: TrainMLP: empty dataset")
@@ -97,28 +170,11 @@ func TrainMLP(m *MLP, train *dataset.Dataset, cfg MLPTrainConfig) error {
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	type worker struct {
-		acts, deltas [][]float64
-		gW           []*tensor.Matrix
-		gB           [][]float64
-		probs        []float64
-	}
-	mk := func() *worker {
-		wk := &worker{acts: m.newActs()}
-		wk.deltas = make([][]float64, len(m.W)+1)
-		for l := range wk.acts {
-			wk.deltas[l] = make([]float64, len(wk.acts[l]))
-		}
-		for _, w := range m.W {
-			wk.gW = append(wk.gW, tensor.New(w.Rows, w.Cols))
-			wk.gB = append(wk.gB, make([]float64, w.Rows))
-		}
-		wk.probs = make([]float64, m.W[len(m.W)-1].Rows)
-		return wk
-	}
-	workers := make([]*worker, nw)
-	for i := range workers {
-		workers[i] = mk()
+	maxBatch := min(cfg.Batch, train.Len())
+	shardCap := shardChunk(maxBatch, nw)
+	shards := make([]*mlpShard, nw)
+	for i := range shards {
+		shards[i] = newMLPShard(m, shardCap, true)
 	}
 	velW := make([]*tensor.Matrix, len(m.W))
 	velB := make([][]float64, len(m.W))
@@ -126,59 +182,47 @@ func TrainMLP(m *MLP, train *dataset.Dataset, cfg MLPTrainConfig) error {
 		velW[l] = tensor.New(w.Rows, w.Cols)
 		velB[l] = make([]float64, w.Rows)
 	}
+	pool := newPool(nw)
+	defer pool.close()
 
 	src := rng.NewPCG32(cfg.Seed, 88)
 	lr := cfg.LR
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for _, batch := range dataset.Batches(src, train.Len(), cfg.Batch, true) {
-			var wg sync.WaitGroup
-			chunk := (len(batch) + nw - 1) / nw
-			active := 0
-			for w := 0; w < nw; w++ {
+			chunk := shardChunk(len(batch), nw)
+			active := (len(batch) + chunk - 1) / chunk
+			pool.run(active, func(w int) {
+				sh := shards[w]
 				lo := w * chunk
-				if lo >= len(batch) {
-					break
+				hi := min(lo+chunk, len(batch))
+				b := hi - lo
+				for s, si := range batch[lo:hi] {
+					copy(sh.acts[0].Row(s), train.X[si])
+					sh.labels[s] = train.Y[si]
 				}
-				hi := lo + chunk
-				if hi > len(batch) {
-					hi = len(batch)
-				}
-				active++
-				wg.Add(1)
-				go func(wk *worker, idx []int) {
-					defer wg.Done()
-					for l := range wk.gW {
-						wk.gW[l].Zero()
-						for i := range wk.gB[l] {
-							wk.gB[l][i] = 0
-						}
-					}
-					for _, si := range idx {
-						m.backpropOne(wk.acts, wk.deltas, wk.probs, wk.gW, wk.gB, train.X[si], train.Y[si])
-					}
-				}(workers[w], batch[lo:hi])
-			}
-			wg.Wait()
-			for w := 1; w < active; w++ {
-				for l := range m.W {
-					for i := range workers[0].gW[l].Data {
-						workers[0].gW[l].Data[i] += workers[w].gW[l].Data[i]
-					}
-					for i := range workers[0].gB[l] {
-						workers[0].gB[l][i] += workers[w].gB[l][i]
-					}
-				}
-			}
+				m.forwardBatch(sh, b)
+				m.backpropBatch(sh, b)
+			})
+			// The shard reduction folds into the update pass in fixed
+			// ascending shard order, bit-identical to merging first.
 			inv := 1 / float64(len(batch))
 			for l := range m.W {
 				for i := range m.W[l].Data {
+					g := shards[0].gW[l].Data[i]
+					for s := 1; s < active; s++ {
+						g += shards[s].gW[l].Data[i]
+					}
 					w := m.W[l].Data[i]
-					grad := workers[0].gW[l].Data[i]*inv + cfg.Lambda*sign(w)
+					grad := g*inv + cfg.Lambda*sign(w)
 					velW[l].Data[i] = cfg.Momentum*velW[l].Data[i] - lr*grad
 					m.W[l].Data[i] = w + velW[l].Data[i]
 				}
 				for i := range m.B[l] {
-					velB[l][i] = cfg.Momentum*velB[l][i] - lr*workers[0].gB[l][i]*inv
+					g := shards[0].gB[l][i]
+					for s := 1; s < active; s++ {
+						g += shards[s].gB[l][i]
+					}
+					velB[l][i] = cfg.Momentum*velB[l][i] - lr*g*inv
 					m.B[l][i] += velB[l][i]
 				}
 			}
@@ -190,7 +234,9 @@ func TrainMLP(m *MLP, train *dataset.Dataset, cfg MLPTrainConfig) error {
 	return nil
 }
 
-// backpropOne accumulates gradients for one (x, y) pair.
+// backpropOne accumulates gradients for one (x, y) pair. It is the reference
+// the batched path is pinned against (and the target of the numeric
+// gradient check).
 func (m *MLP) backpropOne(acts, deltas [][]float64, probs []float64, gW []*tensor.Matrix, gB [][]float64, x []float64, y int) {
 	m.forward(acts, x)
 	L := len(m.W)
@@ -214,17 +260,27 @@ func (m *MLP) backpropOne(acts, deltas [][]float64, probs []float64, gW []*tenso
 	}
 }
 
-// EvaluateMLP returns classification accuracy on d.
+// EvaluateMLP returns classification accuracy on d, forwarded in evalBatch
+// panels through the batched GEMM path.
 func EvaluateMLP(m *MLP, d *dataset.Dataset) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
-	acts := m.newActs()
+	sh := newMLPShard(m, min(evalBatch, d.Len()), false)
+	L := len(m.W)
 	correct := 0
-	for i := range d.X {
-		m.forward(acts, d.X[i])
-		if tensor.ArgMax(acts[len(acts)-1]) == d.Y[i] {
-			correct++
+	for lo := 0; lo < d.Len(); lo += evalBatch {
+		hi := min(lo+evalBatch, d.Len())
+		b := hi - lo
+		for s := 0; s < b; s++ {
+			copy(sh.acts[0].Row(s), d.X[lo+s])
+		}
+		m.forwardBatch(sh, b)
+		logits := rows(sh.acts[L], b)
+		for s := 0; s < b; s++ {
+			if tensor.ArgMax(logits.Row(s)) == d.Y[lo+s] {
+				correct++
+			}
 		}
 	}
 	return float64(correct) / float64(d.Len())

@@ -218,7 +218,11 @@ func (n *Network) newScratch() *scratch {
 }
 
 // forward computes all layer activations for input x into s and returns the
-// final layer's exported activation vector.
+// final layer's exported activation vector. Together with backward it is the
+// per-sample REFERENCE path: the batched training kernels (batch.go,
+// tensor.SpikeForwardBatch/SpikeBackwardBatch) are pinned bit-for-bit
+// against it by batch_test.go, so any change here must be mirrored there.
+// Predict and the cross-check tests run it; the training hot loop does not.
 func (n *Network) forward(s *scratch, x []float64) []float64 {
 	copy(s.acts[0], x)
 	for li, l := range n.Layers {

@@ -50,9 +50,75 @@ func (c *TrainConfig) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// trainShard owns one gradient-reduction slot of the data-parallel fan-out.
+// Task index w of every batch round is bound to shard w, so gradients, loss
+// and accuracy always accumulate in the same place no matter which pool
+// goroutine claims the task, and the batch reduction can run in fixed shard
+// order. Keeping the loss/correct accumulators inside the (separately
+// heap-allocated) shard struct — instead of the adjacent per-worker
+// `losses []float64` / `corrects []int` slices the old loop allocated every
+// batch — removes both the per-batch allocation churn and the false sharing
+// of neighbouring counter slots.
+type trainShard struct {
+	g       *netGrads
+	bs      *batchScratch
+	loss    float64
+	correct int
+}
+
+// minShardSamples bounds how finely a minibatch is split: below this size a
+// shard's fixed costs (an extra gradient-reduction slot, panel setup, one
+// kernel call per core) outweigh its compute, so small batches use fewer
+// shards than workers. Note this coarsening changes the cross-shard
+// gradient-summation grouping relative to the pre-batching trainer's plain
+// ceil(batch/workers) split when that split would go below 8 samples, so
+// multi-worker runs are not ULP-comparable across that boundary (results
+// were always worker-count-dependent); single-worker runs are unchanged.
+const minShardSamples = 8
+
+// shardChunk returns the per-shard sample count used to split a batch of n
+// samples across nw workers. Shard partition is a pure function of (n, nw),
+// never of scheduling — the deterministic-reduction contract depends on it.
+func shardChunk(n, nw int) int {
+	chunk := (n + nw - 1) / nw
+	if chunk < minShardSamples {
+		chunk = min(minShardSamples, n)
+	}
+	return chunk
+}
+
+// run processes the shard's samples: one batched forward, per-sample readout
+// loss gradients, one batched backward. Gradients for the shard end up in
+// sh.g exactly as the sample-at-a-time loop produced them (the backward
+// kernels overwrite, so no pre-zeroing pass is needed).
+func (sh *trainShard) run(n *Network, inputs [][]float64, labels []int, idx []int) {
+	bs := sh.bs
+	n.forwardBatch(bs, inputs, idx)
+	b := len(idx)
+	sh.correct = n.scoreBatch(bs, labels, idx)
+	dAct := rows(bs.dAct[len(n.Layers)], b)
+	loss := 0.0
+	for s := 0; s < b; s++ {
+		loss += n.Readout.LossGrad(bs.scores.Row(s), bs.probs.Row(s), labels[idx[s]], dAct.Row(s))
+	}
+	sh.loss = loss
+	n.backwardBatch(bs, sh.g, b)
+}
+
 // Train runs minibatch SGD with momentum on net over train. Feature vectors
 // shorter than the input layer (grid padding) are zero-extended. Returns the
 // final epoch's mean training loss.
+//
+// The hot loop is batched: each worker shard flows through the tensor
+// package's minibatch GEMM/spike kernels, a persistent work-stealing pool
+// replaces the per-batch goroutine fan-out, and per-shard gradients merge in
+// fixed ascending shard order. The deterministic-reduction contract: the
+// shard partition is a pure function of (batch, Workers) via shardChunk, so
+// for a given (net, dataset, config) — including Workers — training is
+// bit-reproducible, and it is bit-identical to the per-sample reference
+// path run under that same partition and merge order (pinned by
+// batch_test.go). As before the batching, changing Workers regroups the
+// gradient summation and may change results in the last ulp.
 func Train(net *Network, train *dataset.Dataset, cfg TrainConfig) (float64, error) {
 	if err := net.Validate(); err != nil {
 		return 0, fmt.Errorf("nn: train: %w", err)
@@ -64,16 +130,16 @@ func Train(net *Network, train *dataset.Dataset, cfg TrainConfig) (float64, erro
 		cfg.Penalty = NonePenalty{}
 	}
 	nw := cfg.workers()
-	type worker struct {
-		s *scratch
-		g *netGrads
-	}
-	workers := make([]worker, nw)
-	for i := range workers {
-		workers[i] = worker{s: net.newScratch(), g: net.newGrads()}
+	maxBatch := min(cfg.Batch, train.Len())
+	shardCap := shardChunk(maxBatch, nw)
+	shards := make([]*trainShard, nw)
+	for i := range shards {
+		shards[i] = &trainShard{g: net.newGrads(), bs: net.newBatchScratch(shardCap, true)}
 	}
 	velocity := net.newGrads()
 	inputs := padInputs(net, train)
+	pool := newPool(nw)
+	defer pool.close()
 
 	src := rng.NewPCG32(cfg.Seed, 77)
 	lr := cfg.LR
@@ -83,52 +149,22 @@ func Train(net *Network, train *dataset.Dataset, cfg TrainConfig) (float64, erro
 		var totalLoss float64
 		var totalCorrect int
 		for _, batch := range batches {
-			var wg sync.WaitGroup
-			losses := make([]float64, nw)
-			corrects := make([]int, nw)
-			chunk := (len(batch) + nw - 1) / nw
-			active := 0
-			for w := 0; w < nw; w++ {
+			chunk := shardChunk(len(batch), nw)
+			active := (len(batch) + chunk - 1) / chunk
+			pool.run(active, func(w int) {
 				lo := w * chunk
-				if lo >= len(batch) {
-					break
-				}
-				hi := lo + chunk
-				if hi > len(batch) {
-					hi = len(batch)
-				}
-				active++
-				wg.Add(1)
-				go func(w int, idx []int) {
-					defer wg.Done()
-					wk := workers[w]
-					wk.g.zero()
-					for _, si := range idx {
-						out := net.forward(wk.s, inputs[si])
-						net.Readout.Scores(wk.s.scores, out)
-						if tensor.ArgMax(wk.s.scores) == train.Y[si] {
-							corrects[w]++
-						}
-						losses[w] += net.Readout.LossGrad(wk.s.scores, wk.s.probs, train.Y[si], wk.s.dAct[len(net.Layers)])
-						net.backward(wk.s, wk.g)
-					}
-				}(w, batch[lo:hi])
-			}
-			wg.Wait()
-			// Merge worker gradients into workers[0].g.
-			sum := workers[0].g
-			for w := 1; w < active; w++ {
-				sum.add(workers[w].g)
-			}
+				hi := min(lo+chunk, len(batch))
+				shards[w].run(net, inputs, train.Y, batch[lo:hi])
+			})
 			for w := 0; w < active; w++ {
-				totalLoss += losses[w]
-				totalCorrect += corrects[w]
+				totalLoss += shards[w].loss
+				totalCorrect += shards[w].correct
 			}
 			lambda := cfg.Lambda
 			if epoch < cfg.Warmup {
 				lambda = 0
 			}
-			applyUpdate(net, sum, velocity, lr, lambda, cfg, float64(len(batch)))
+			applyUpdate(net, shards, active, velocity, lr, lambda, cfg, float64(len(batch)))
 		}
 		lastLoss = totalLoss / float64(train.Len())
 		if cfg.Progress != nil {
@@ -141,21 +177,56 @@ func Train(net *Network, train *dataset.Dataset, cfg TrainConfig) (float64, erro
 	return lastLoss, nil
 }
 
-// applyUpdate performs one momentum SGD step:
-// v <- momentum*v - lr*(dataGrad/batch + lambda*penaltyGrad); w <- clamp(w+v).
-func applyUpdate(net *Network, grads, velocity *netGrads, lr, lambda float64, cfg TrainConfig, batchSize float64) {
+// applyUpdate performs one momentum SGD step straight from the unreduced
+// shard gradients:
+// v <- momentum*v - lr*(sum(shardGrad)/batch + lambda*penaltyGrad);
+// w <- clamp(w+v). The shard reduction folds into the update pass in fixed
+// ascending shard order — bit-identical to merging the buffers first, but
+// one pass over gradient memory instead of two. The concrete-penalty
+// dispatch devirtualizes the per-weight Grad call of the known penalties
+// while keeping the update arithmetic identical.
+func applyUpdate(net *Network, shards []*trainShard, active int, velocity *netGrads, lr, lambda float64, cfg TrainConfig, batchSize float64) {
+	switch p := cfg.Penalty.(type) {
+	case NonePenalty:
+		applyUpdateWith(net, shards, active, velocity, lr, lambda, cfg, batchSize, p)
+	case L1Penalty:
+		applyUpdateWith(net, shards, active, velocity, lr, lambda, cfg, batchSize, p)
+	case L2Penalty:
+		applyUpdateWith(net, shards, active, velocity, lr, lambda, cfg, batchSize, p)
+	case BiasedPenalty:
+		applyUpdateWith(net, shards, active, velocity, lr, lambda, cfg, batchSize, p)
+	default:
+		applyUpdateWith(net, shards, active, velocity, lr, lambda, cfg, batchSize, cfg.Penalty)
+	}
+}
+
+func applyUpdateWith[P Penalty](net *Network, shards []*trainShard, active int, velocity *netGrads, lr, lambda float64, cfg TrainConfig, batchSize float64, pen P) {
 	inv := 1 / batchSize
+	wsrc := make([][]float64, active)
+	bsrc := make([][]float64, active)
 	for li, l := range net.Layers {
 		for ci, c := range l.Cores {
-			g, v := grads.layers[li][ci], velocity.layers[li][ci]
+			v := velocity.layers[li][ci]
+			for s := 0; s < active; s++ {
+				wsrc[s] = shards[s].g.layers[li][ci].W.Data
+				bsrc[s] = shards[s].g.layers[li][ci].Bias
+			}
 			for i := range c.W.Data {
+				g := wsrc[0][i]
+				for s := 1; s < active; s++ {
+					g += wsrc[s][i]
+				}
 				w := c.W.Data[i]
-				grad := g.W.Data[i]*inv + lambda*cfg.Penalty.Grad(w, net.CMax)
+				grad := g*inv + lambda*pen.Grad(w, net.CMax)
 				v.W.Data[i] = cfg.Momentum*v.W.Data[i] - lr*grad
 				c.W.Data[i] = tensor.Clamp(w+v.W.Data[i], -net.CMax, net.CMax)
 			}
 			for j := range c.Bias {
-				grad := g.Bias[j] * inv
+				g := bsrc[0][j]
+				for s := 1; s < active; s++ {
+					g += bsrc[s][j]
+				}
+				grad := g * inv
 				v.Bias[j] = cfg.Momentum*v.Bias[j] - lr*grad
 				c.Bias[j] += v.Bias[j]
 			}
@@ -180,8 +251,14 @@ func padInputs(net *Network, d *dataset.Dataset) [][]float64 {
 	return out
 }
 
-// Evaluate returns the expectation-model ("Caffe") accuracy of net on d,
-// computed in parallel.
+// evalBatch is the evaluation work unit: small enough that work stealing
+// balances heterogeneous progress, large enough to amortize panel setup.
+const evalBatch = 64
+
+// Evaluate returns the expectation-model ("Caffe") accuracy of net on d.
+// It runs on the same persistent pool and batched forward as Train: workers
+// steal evalBatch-sized units off a shared counter and forward each unit
+// through the minibatch kernels.
 func Evaluate(net *Network, d *dataset.Dataset, workers int) float64 {
 	if d.Len() == 0 {
 		return 0
@@ -190,32 +267,25 @@ func Evaluate(net *Network, d *dataset.Dataset, workers int) float64 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	inputs := padInputs(net, d)
-	correct := make([]int, workers)
-	var wg sync.WaitGroup
-	chunk := (d.Len() + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= d.Len() {
-			break
-		}
-		hi := lo + chunk
-		if hi > d.Len() {
-			hi = d.Len()
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			s := net.newScratch()
-			for i := lo; i < hi; i++ {
-				out := net.forward(s, inputs[i])
-				net.Readout.Scores(s.scores, out)
-				if tensor.ArgMax(s.scores) == d.Y[i] {
-					correct[w]++
-				}
-			}
-		}(w, lo, hi)
+	units := (d.Len() + evalBatch - 1) / evalBatch
+	workers = min(workers, units)
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
 	}
-	wg.Wait()
+	var scratch sync.Pool
+	scratch.New = func() any { return net.newBatchScratch(evalBatch, false) }
+	correct := make([]int, units)
+	pool := newPool(workers)
+	defer pool.close()
+	pool.run(units, func(u int) {
+		bs := scratch.Get().(*batchScratch)
+		lo := u * evalBatch
+		hi := min(lo+evalBatch, d.Len())
+		net.forwardBatch(bs, inputs, idx[lo:hi])
+		correct[u] = net.scoreBatch(bs, d.Y, idx[lo:hi])
+		scratch.Put(bs)
+	})
 	total := 0
 	for _, c := range correct {
 		total += c

@@ -1,0 +1,343 @@
+// Minibatch-level matrix-matrix kernels for the training hot loop.
+//
+// Every kernel in this file is cache-blocked AND bit-exact against the
+// per-sample reference kernels in tensor.go: each destination element is
+// accumulated strictly in ascending inner-product (k) order, one fused
+// `dst += a*b` term per k, exactly the chain MatVec / MatTVec / OuterAcc
+// produce. Exact-zero operands may be skipped — adding `w*0` or `0*x` to a
+// running sum is a floating-point identity here because accumulators never
+// hold -0 (they start at +0 or a finite value, and x + (-0) only differs
+// from x when x itself is -0, which a +0-seeded sum chain can never
+// produce). A batched pass is therefore bit-identical to the per-sample
+// kernels run over the same samples in the same grouping; gemm_test.go pins
+// this with exact (==) cross-checks, and nn's batch_test.go pins whole
+// training runs against the per-sample reference under the trainer's shard
+// partition. (How a minibatch is partitioned into shards still affects the
+// cross-shard gradient summation order, as it always has — that partition
+// is fixed by nn.shardChunk, not by these kernels.)
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tile sizes for the blocked kernels. Tiles bound the working set the inner
+// loops touch (a column panel of the destination, a row panel of the
+// transposed operand) so one operand stays cache-hot while the other
+// streams. All kernels remain correct for dimensions that are not tile
+// multiples; gemm_test.go covers those edges explicitly.
+const (
+	// gemmColTile is the destination/B column-panel width (in float64s) of
+	// Gemm: 128 columns = one 1 KiB dst-row segment per accumulation sweep.
+	gemmColTile = 128
+	// gemmRowTile is the row-panel height used by GemmT (rows of B reused
+	// across every row of A) and GemmAT (rows of dst kept hot while B
+	// streams).
+	gemmRowTile = 32
+)
+
+// Gemm computes dst = a * b (a: m x k, b: k x n, dst: m x n).
+// Row r of dst matches MatTVec-style accumulation: dst[r][j] sums
+// a[r][k]*b[k][j] over ascending k from a zero start.
+func Gemm(dst, a, b *Matrix) { gemmNN(dst, a, b, false) }
+
+// GemmAcc computes dst += a * b with the same ordering contract as Gemm.
+func GemmAcc(dst, a, b *Matrix) { gemmNN(dst, a, b, true) }
+
+func gemmNN(dst, a, b *Matrix, acc bool) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Gemm shape mismatch dst=%dx%d a=%dx%d b=%dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for j0 := 0; j0 < b.Cols; j0 += gemmColTile {
+		j1 := min(j0+gemmColTile, b.Cols)
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			crow := dst.Row(i)[j0:j1]
+			if !acc {
+				// Zeroing the destination segment just before accumulating
+				// into it keeps the zero pass cache-hot (fused first touch).
+				for j := range crow {
+					crow[j] = 0
+				}
+			}
+			for k, av := range arow {
+				if av == 0 {
+					continue // exact-zero skip; identity-preserving (see header)
+				}
+				brow := b.Row(k)[j0:j1]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// GemmT computes dst = a * b^T (a: m x k, b: n x k, dst: m x n).
+// dst[i][j] is the MatVec dot-product chain of a's row i with b's row j:
+// a zero-started register accumulation over ascending k.
+func GemmT(dst, a, b *Matrix) { gemmNT(dst, a, b, false) }
+
+// GemmTAcc computes dst += a * b^T; each element continues its existing
+// value with the same ascending-k chain.
+func GemmTAcc(dst, a, b *Matrix) { gemmNT(dst, a, b, true) }
+
+// gemmScratch holds the compacted nonzero row panels gemmNT builds once per
+// call. Pooled so steady-state GemmT calls do not allocate.
+type gemmScratch struct {
+	ks  []int32
+	xs  []float64
+	nnz []int
+}
+
+var gemmScratchPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+func (s *gemmScratch) ensure(rows, cols int) {
+	if len(s.nnz) < rows {
+		s.nnz = make([]int, rows)
+	}
+	if len(s.ks) < rows*cols {
+		s.ks = make([]int32, rows*cols)
+		s.xs = make([]float64, rows*cols)
+	}
+}
+
+func gemmNT(dst, a, b *Matrix, acc bool) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: GemmT shape mismatch dst=%dx%d a=%dx%d b=%dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k := a.Cols
+	// Compact each A row's nonzeros once up front: activation panels are
+	// routinely 35-95% exact zeros (black image borders, ReLU cut-offs), and
+	// a dot product that skips zero terms is bit-identical to the dense
+	// chain while shortening the latency-bound accumulation by that factor.
+	scr := gemmScratchPool.Get().(*gemmScratch)
+	scr.ensure(a.Rows, k)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		ks := scr.ks[i*k:]
+		xs := scr.xs[i*k:]
+		n := 0
+		for kk, v := range arow {
+			if v != 0 {
+				ks[n] = int32(kk)
+				xs[n] = v
+				n++
+			}
+		}
+		scr.nnz[i] = n
+	}
+	for j0 := 0; j0 < b.Rows; j0 += gemmRowTile {
+		j1 := min(j0+gemmRowTile, b.Rows)
+		// The B row panel [j0,j1) stays hot while every row of A streams by.
+		// Four destination columns run at once: each keeps its own strictly
+		// ascending-k accumulator chain (so every element stays bit-identical
+		// to the one-at-a-time dot), but the four independent chains hide the
+		// FP-add latency that bounds a single running sum.
+		for i := 0; i < a.Rows; i++ {
+			crow := dst.Row(i)
+			if n := scr.nnz[i]; n*8 <= k*7 {
+				ks := scr.ks[i*k : i*k+n]
+				xs := scr.xs[i*k : i*k+n]
+				j := j0
+				for ; j+4 <= j1; j += 4 {
+					b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+					var s0, s1, s2, s3 float64
+					if acc {
+						s0, s1, s2, s3 = crow[j], crow[j+1], crow[j+2], crow[j+3]
+					}
+					for t, kk := range ks {
+						x := xs[t]
+						s0 += x * b0[kk]
+						s1 += x * b1[kk]
+						s2 += x * b2[kk]
+						s3 += x * b3[kk]
+					}
+					crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+				}
+				for ; j < j1; j++ {
+					brow := b.Row(j)
+					var s float64
+					if acc {
+						s = crow[j]
+					}
+					for t, kk := range ks {
+						s += xs[t] * brow[kk]
+					}
+					crow[j] = s
+				}
+			} else {
+				arow := a.Row(i)
+				j := j0
+				for ; j+4 <= j1; j += 4 {
+					b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+					var s0, s1, s2, s3 float64
+					if acc {
+						s0, s1, s2, s3 = crow[j], crow[j+1], crow[j+2], crow[j+3]
+					}
+					for kk, av := range arow {
+						s0 += av * b0[kk]
+						s1 += av * b1[kk]
+						s2 += av * b2[kk]
+						s3 += av * b3[kk]
+					}
+					crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+				}
+				for ; j < j1; j++ {
+					brow := b.Row(j)
+					var s float64
+					if acc {
+						s = crow[j]
+					}
+					for kk, av := range arow {
+						s += av * brow[kk]
+					}
+					crow[j] = s
+				}
+			}
+		}
+	}
+	gemmScratchPool.Put(scr)
+}
+
+// GemmAT computes dst = a^T * b (a: s x m, b: s x n, dst: m x n).
+func GemmAT(dst, a, b *Matrix) { gemmAT(dst, a, b, false) }
+
+// GemmATAcc computes dst += a^T * b: the batched form of per-sample
+// OuterAcc(dst, 1, a.Row(k), b.Row(k)) calls in ascending sample (k) order,
+// including OuterAcc's identity-preserving skip of zero left operands.
+func GemmATAcc(dst, a, b *Matrix) { gemmAT(dst, a, b, true) }
+
+func gemmAT(dst, a, b *Matrix, acc bool) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GemmAT shape mismatch dst=%dx%d a=%dx%d b=%dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i0 := 0; i0 < dst.Rows; i0 += gemmRowTile {
+		i1 := min(i0+gemmRowTile, dst.Rows)
+		// The dst row panel [i0,i1) stays hot while B streams once per panel;
+		// in overwrite mode the panel is zeroed on entry (fused first touch).
+		if !acc {
+			for i := i0; i < i1; i++ {
+				row := dst.Row(i)
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := i0; i < i1; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue // matches OuterAcc's zero-skip
+				}
+				crow := dst.Row(i)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// AddRowVec adds v to every row of m (the batched bias add: each row gets
+// the same `dst[i] += 1*v[i]` Axpy chain as the per-sample path).
+func AddRowVec(m *Matrix, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVec %d-vector vs %d columns", len(v), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i, bv := range v {
+			row[i] += bv
+		}
+	}
+}
+
+// ColSumAcc accumulates the column sums of m into dst: dst[j] += sum over
+// rows of m[r][j], rows in ascending order — the batched form of per-sample
+// Axpy(dst, 1, m.Row(r)).
+func ColSumAcc(dst []float64, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumAcc %d-vector vs %d columns", len(dst), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// Relu rectifies m in place: strictly negative entries become 0 (matching
+// the per-sample forward pass, which zeroes v < 0 and keeps -0 intact).
+func Relu(m *Matrix) {
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i, v := range row {
+			if v < 0 {
+				row[i] = 0
+			}
+		}
+	}
+}
+
+// ReluBackward masks the gradient panel d by the forward activations: where
+// act[r][j] <= 0 the unit was clamped (or exactly at the kink), so its
+// gradient is zeroed — the subgradient choice of the per-sample path.
+func ReluBackward(d, act *Matrix) {
+	if d.Rows != act.Rows || d.Cols != act.Cols {
+		panic(fmt.Sprintf("tensor: ReluBackward %dx%d grad vs %dx%d act", d.Rows, d.Cols, act.Rows, act.Cols))
+	}
+	for r := 0; r < d.Rows; r++ {
+		drow, arow := d.Row(r), act.Row(r)
+		for i, a := range arow {
+			if a <= 0 {
+				drow[i] = 0
+			}
+		}
+	}
+}
+
+// SoftmaxRows writes the row-wise softmax of src into dst (dst may alias
+// src). Each row uses the same stable single-row Softmax kernel.
+func SoftmaxRows(dst, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: SoftmaxRows %dx%d dst vs %dx%d src", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for r := 0; r < src.Rows; r++ {
+		Softmax(dst.Row(r), src.Row(r))
+	}
+}
+
+// SubOneHot subtracts the one-hot label encoding from every row of m:
+// m[r][labels[r]] -= 1. Applied to a softmax panel it yields the batched
+// cross-entropy gradient with respect to the logits.
+func SubOneHot(m *Matrix, labels []int) {
+	if len(labels) != m.Rows {
+		panic(fmt.Sprintf("tensor: SubOneHot %d labels vs %d rows", len(labels), m.Rows))
+	}
+	for r, y := range labels {
+		m.Row(r)[y] -= 1
+	}
+}
+
+// GatherCols fills dst row-by-row with the idx-indexed columns of src:
+// dst[r][k] = src[r][idx[k]]. This is the axon gather that turns a core's
+// scattered input wiring into a contiguous (batch x axons) panel.
+func GatherCols(dst, src *Matrix, idx []int) {
+	if dst.Rows != src.Rows || dst.Cols != len(idx) {
+		panic(fmt.Sprintf("tensor: GatherCols dst=%dx%d src rows=%d idx=%d", dst.Rows, dst.Cols, src.Rows, len(idx)))
+	}
+	for r := 0; r < dst.Rows; r++ {
+		srow, drow := src.Row(r), dst.Row(r)
+		for k, j := range idx {
+			drow[k] = srow[j]
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// sparseMatrix returns a rows x cols matrix where roughly zeroFrac of the
+// entries are exactly zero — the shape of real spike-probability panels.
+func sparseMatrix(src *rng.PCG32, rows, cols int, zeroFrac float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64(src) < zeroFrac {
+			continue
+		}
+		m.Data[i] = rng.Float64(src)*2 - 1
+	}
+	return m
+}
+
+// strided returns a matrix with Stride > Cols holding the same elements as
+// m, to exercise the non-compact (view) code paths of every kernel.
+func strided(m *Matrix) *Matrix {
+	backing := New(m.Rows+2, m.Cols+3)
+	for i := range backing.Data {
+		backing.Data[i] = math.NaN() // poison so out-of-view writes are caught
+	}
+	v := backing.View(1, 2, m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		copy(v.Row(r), m.Row(r))
+	}
+	return v
+}
+
+func TestViewAliasesParent(t *testing.T) {
+	m := New(4, 5)
+	v := m.View(1, 2, 2, 3)
+	if v.Rows != 2 || v.Cols != 3 || v.Stride != 5 {
+		t.Fatalf("view geometry %dx%d stride %d", v.Rows, v.Cols, v.Stride)
+	}
+	v.Set(0, 0, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("view write not visible in parent")
+	}
+	if m.View(0, 0, 0, 3).Rows != 0 {
+		t.Fatal("empty view broken")
+	}
+}
+
+func TestViewPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 3).View(1, 1, 3, 2)
+}
+
+// TestGemmTilingEdges checks every kernel on dimensions straddling the tile
+// sizes (non-multiples, exact multiples, degenerate 1xN / Nx1) against
+// naive ascending-k accumulation, requiring exact equality. Inputs include
+// strided views for every operand.
+func TestGemmTilingEdges(t *testing.T) {
+	src := rng.NewPCG32(11, 1)
+	dims := []int{1, 2, 3, gemmRowTile - 1, gemmRowTile, gemmRowTile + 1, gemmColTile - 1, gemmColTile, gemmColTile + 1}
+	for _, m := range dims {
+		for _, k := range dims {
+			for _, n := range dims {
+				if m*k*n > 1<<21 { // keep the cube tractable
+					continue
+				}
+				a := sparseMatrix(src, m, k, 0.3)
+				b := sparseMatrix(src, k, n, 0.3)
+				bt := sparseMatrix(src, n, k, 0.3)
+				at := sparseMatrix(src, k, m, 0.3)
+
+				want := naiveGemm(a, b)
+				got := New(m, n)
+				Gemm(got, a, b)
+				checkExact(t, "Gemm", got, want, m, k, n)
+				gotV := strided(New(m, n))
+				Gemm(gotV, strided(a), strided(b))
+				checkExact(t, "Gemm/strided", gotV, want, m, k, n)
+
+				wantT := naiveGemm(a, transpose(bt))
+				gotT := New(m, n)
+				GemmT(gotT, a, bt)
+				checkExact(t, "GemmT", gotT, wantT, m, k, n)
+				gotT = strided(New(m, n))
+				GemmT(gotT, strided(a), strided(bt))
+				checkExact(t, "GemmT/strided", gotT, wantT, m, k, n)
+
+				wantAT := naiveGemm(transpose(at), b)
+				gotAT := New(m, n)
+				GemmAT(gotAT, at, b)
+				checkExact(t, "GemmAT", gotAT, wantAT, m, k, n)
+				gotAT = strided(New(m, n))
+				GemmAT(gotAT, strided(at), strided(b))
+				checkExact(t, "GemmAT/strided", gotAT, wantAT, m, k, n)
+			}
+		}
+	}
+}
+
+// naiveGemm is the reference: plain ascending-k accumulation per element.
+func naiveGemm(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Set(c, r, m.At(r, c))
+		}
+	}
+	return out
+}
+
+func checkExact(t *testing.T, kernel string, got, want *Matrix, m, k, n int) {
+	t.Helper()
+	for r := 0; r < want.Rows; r++ {
+		for c := 0; c < want.Cols; c++ {
+			if got.At(r, c) != want.At(r, c) {
+				t.Fatalf("%s (%dx%dx%d): element (%d,%d) = %v, want %v", kernel, m, k, n, r, c, got.At(r, c), want.At(r, c))
+			}
+		}
+	}
+}
+
+// TestGemmMatchesMatVecRowByRow is the property pin of the bit-exactness
+// contract: for random shapes, Gemm against a column vector equals MatVec
+// per row EXACTLY (not within tolerance), GemmT rows equal MatVec dots with
+// the transposed operand, and accumulating variants continue the chains.
+func TestGemmMatchesMatVecRowByRow(t *testing.T) {
+	src := rng.NewPCG32(29, 2)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(src, 70)
+		k := 1 + rng.Intn(src, 160)
+		a := sparseMatrix(src, m, k, 0.4)
+		x := make([]float64, k)
+		for i := range x {
+			if rng.Float64(src) < 0.4 {
+				continue
+			}
+			x[i] = rng.Float64(src)*2 - 1
+		}
+		// Gemm with a k x 1 column: dst column r == MatVec(a, x)[r].
+		col := FromSlice(k, 1, x)
+		got := New(m, 1)
+		Gemm(got, a, col)
+		want := make([]float64, m)
+		MatVec(want, a, x)
+		for r := 0; r < m; r++ {
+			if got.At(r, 0) != want[r] {
+				t.Fatalf("trial %d: Gemm row %d = %v, MatVec %v", trial, r, got.At(r, 0), want[r])
+			}
+		}
+		// GemmT with a 1 x k row operand: dst row i has MatVec dot chains.
+		xrow := FromSlice(1, k, x)
+		gotT := New(1, m)
+		GemmT(gotT, xrow, a)
+		for j := 0; j < m; j++ {
+			var s float64
+			arow := a.Row(j)
+			for i, v := range x {
+				s += v * arow[i]
+			}
+			if gotT.At(0, j) != s {
+				t.Fatalf("trial %d: GemmT col %d = %v, dot %v", trial, j, gotT.At(0, j), s)
+			}
+		}
+		// GemmATAcc over sample rows == sequential OuterAcc calls.
+		s := 1 + rng.Intn(src, 9)
+		n := 1 + rng.Intn(src, 40)
+		da := sparseMatrix(src, s, m, 0.5)
+		xb := sparseMatrix(src, s, n, 0.4)
+		gotA := sparseMatrix(src, m, n, 0.3)
+		wantA := gotA.Clone()
+		GemmATAcc(gotA, da, xb)
+		for r := 0; r < s; r++ {
+			OuterAcc(wantA, 1, da.Row(r), xb.Row(r))
+		}
+		checkExact(t, "GemmATAcc vs OuterAcc", gotA, wantA, m, s, n)
+	}
+}
+
+func TestGemmAccContinuesChain(t *testing.T) {
+	src := rng.NewPCG32(5, 5)
+	a := sparseMatrix(src, 7, 13, 0.3)
+	b := sparseMatrix(src, 13, 9, 0.3)
+	seed := sparseMatrix(src, 7, 9, 0)
+	got := seed.Clone()
+	GemmAcc(got, a, b)
+	want := seed.Clone()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 9; j++ {
+			s := want.At(i, j)
+			for k := 0; k < 13; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	checkExact(t, "GemmAcc", got, want, 7, 13, 9)
+	gotT := seed.Clone()
+	GemmTAcc(gotT, a, transpose(b))
+	checkExact(t, "GemmTAcc", gotT, want, 7, 13, 9)
+}
+
+func TestGemmPanicsOnShape(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Gemm":   func() { Gemm(New(2, 2), New(2, 3), New(2, 2)) },
+		"GemmT":  func() { GemmT(New(2, 2), New(2, 3), New(2, 4)) },
+		"GemmAT": func() { GemmAT(New(2, 2), New(3, 2), New(4, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBatchedElementwiseHelpers(t *testing.T) {
+	m := FromSlice(2, 3, []float64{-1, 0, 2, 3, -4, 5})
+	AddRowVec(m, []float64{1, 1, 1})
+	want := []float64{0, 1, 3, 4, -3, 6}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddRowVec: %v", m.Data)
+		}
+	}
+	sums := []float64{1, 2, 3}
+	ColSumAcc(sums, m)
+	if sums[0] != 1+0+4 || sums[1] != 2+1-3 || sums[2] != 3+3+6 {
+		t.Fatalf("ColSumAcc: %v", sums)
+	}
+	Relu(m)
+	if m.At(1, 1) != 0 || m.At(0, 0) != 0 || m.At(1, 2) != 6 {
+		t.Fatalf("Relu: %v", m.Data)
+	}
+
+	d := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	act := FromSlice(2, 2, []float64{0.5, 0, -1, 2})
+	ReluBackward(d, act)
+	if d.At(0, 0) != 1 || d.At(0, 1) != 0 || d.At(1, 0) != 0 || d.At(1, 1) != 4 {
+		t.Fatalf("ReluBackward: %v", d.Data)
+	}
+
+	logits := FromSlice(2, 3, []float64{1, 2, 3, 0, 0, 0})
+	probs := New(2, 3)
+	SoftmaxRows(probs, logits)
+	for r := 0; r < 2; r++ {
+		want := make([]float64, 3)
+		Softmax(want, logits.Row(r))
+		for i, v := range want {
+			if probs.At(r, i) != v {
+				t.Fatalf("SoftmaxRows row %d: %v", r, probs.Row(r))
+			}
+		}
+	}
+	SubOneHot(probs, []int{2, 0})
+	if probs.At(0, 2) >= 0 || probs.At(1, 0) >= 0 {
+		t.Fatalf("SubOneHot did not subtract: %v", probs.Data)
+	}
+
+	srcM := FromSlice(2, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	dst := New(2, 3)
+	GatherCols(dst, srcM, []int{3, 0, 2})
+	if dst.At(0, 0) != 4 || dst.At(0, 1) != 1 || dst.At(1, 2) != 7 {
+		t.Fatalf("GatherCols: %v", dst.Data)
+	}
+}
+
+// ---------------------------------------------------------- spike kernels --
+
+// refSpikeForward replicates the per-sample forwardCore loop from nn
+// verbatim: Eq. (9)/(14)/(11) with the x==0 || w==0 skip.
+func refSpikeForward(mu, sigma, act, x, w *Matrix, bias []float64, cmax, sigmaFloor, muOffset float64) {
+	floor2 := sigmaFloor * sigmaFloor
+	for s := 0; s < x.Rows; s++ {
+		in := x.Row(s)
+		for j := 0; j < w.Rows; j++ {
+			row := w.Row(j)
+			m := bias[j]
+			v := floor2
+			for i, wv := range row {
+				xv := in[i]
+				if xv == 0 || wv == 0 {
+					continue
+				}
+				m += wv * xv
+				aw := math.Abs(wv)
+				v += aw * xv * (cmax - aw*xv)
+			}
+			m += muOffset
+			mu.Set(s, j, m)
+			sg := math.Sqrt(v)
+			sigma.Set(s, j, sg)
+			act.Set(s, j, SpikeProb(m, sg))
+		}
+	}
+}
+
+// refSpikeBackward replicates the per-sample backward core loop from nn
+// verbatim, sample-major with the da == 0 skip.
+func refSpikeBackward(dact, mu, sigma, x, w, gw *Matrix, gbias []float64, dIn *Matrix, idx []int, cmax float64, sigmaConst bool) {
+	for s := 0; s < x.Rows; s++ {
+		in := x.Row(s)
+		for j := 0; j < w.Rows; j++ {
+			da := dact.At(s, j)
+			if da == 0 {
+				continue
+			}
+			m, sg := mu.At(s, j), sigma.At(s, j)
+			dMu, dSigma := SpikeProbGrad(m, sg)
+			gMu := da * dMu
+			var gVar float64
+			if !sigmaConst && sg > 0 {
+				gVar = da * dSigma / (2 * sg)
+			}
+			gbias[j] += gMu
+			row := w.Row(j)
+			grow := gw.Row(j)
+			for i := range idx {
+				xv := in[i]
+				wv := row[i]
+				aw := math.Abs(wv)
+				sw := sign(wv)
+				grow[i] += gMu*xv + gVar*sw*xv*(cmax-2*aw*xv)
+				if dIn != nil {
+					dIn.Row(s)[idx[i]] += gMu*wv + gVar*aw*(cmax-2*aw*xv)
+				}
+			}
+		}
+	}
+}
+
+// TestSpikeKernelsMatchReference cross-checks the batched spike kernels
+// against the per-sample reference loops over randomized cores, requiring
+// exact equality. Covers dense and sparse inputs (both sides of the
+// compaction threshold), zero weights, strided output views, sigmaConst,
+// muOffset, zero sigma floors, batch sizes 0/1/n, and nil scratch.
+func TestSpikeKernelsMatchReference(t *testing.T) {
+	src := rng.NewPCG32(77, 3)
+	for trial := 0; trial < 60; trial++ {
+		batch := rng.Intn(src, 9)             // 0..8
+		axons := 1 + rng.Intn(src, 40)        // 1..40
+		nr := 1 + rng.Intn(src, 24)           // 1..24
+		zeroFrac := rng.Float64(src) * 1.05   // sometimes fully dense
+		cmax := 1 + rng.Float64(src)
+		sigmaFloor := 0.0
+		if rng.Bernoulli(src, 0.7) {
+			sigmaFloor = 1e-3
+		}
+		muOffset := 0.0
+		if rng.Bernoulli(src, 0.5) {
+			muOffset = 0.5
+		}
+		sigmaConst := rng.Bernoulli(src, 0.3)
+
+		x := New(batch, axons)
+		for i := range x.Data {
+			if rng.Float64(src) < zeroFrac {
+				continue
+			}
+			x.Data[i] = rng.Float64(src)
+		}
+		w := sparseMatrix(src, nr, axons, 0.1)
+		for i := range w.Data {
+			w.Data[i] *= cmax
+		}
+		bias := make([]float64, nr)
+		for i := range bias {
+			bias[i] = rng.Float64(src) - 0.5
+		}
+
+		var scr *SpikeScratch
+		if rng.Bernoulli(src, 0.5) {
+			scr = NewSpikeScratch(batch, axons)
+		}
+
+		mu, sigma, act := New(batch, nr), New(batch, nr), New(batch, nr)
+		refSpikeForward(mu, sigma, act, x, w, bias, cmax, sigmaFloor, muOffset)
+		muB := strided(New(batch, nr))
+		sigmaB := strided(New(batch, nr))
+		actB := strided(New(batch, nr))
+		SpikeForwardBatch(muB, sigmaB, actB, x, w, bias, cmax, sigmaFloor, muOffset, scr)
+		for s := 0; s < batch; s++ {
+			for j := 0; j < nr; j++ {
+				if muB.At(s, j) != mu.At(s, j) || sigmaB.At(s, j) != sigma.At(s, j) || actB.At(s, j) != act.At(s, j) {
+					t.Fatalf("trial %d: forward (%d,%d) batched (%v,%v,%v) vs ref (%v,%v,%v)", trial, s, j,
+						muB.At(s, j), sigmaB.At(s, j), actB.At(s, j), mu.At(s, j), sigma.At(s, j), act.At(s, j))
+				}
+			}
+		}
+
+		// Backward: random upstream gradients with exact zeros, and a
+		// scatter map with a random offset (layer input wider than the core).
+		dact := sparseMatrix(src, batch, nr, 0.3)
+		inDim := axons + rng.Intn(src, 5)
+		idx := rng.Perm(src, inDim)[:axons]
+		withDIn := rng.Bernoulli(src, 0.5)
+
+		gwRef, gwBatch := New(nr, axons), New(nr, axons)
+		gbRef, gbBatch := make([]float64, nr), make([]float64, nr)
+		var dInRef, dInBatch *Matrix
+		if withDIn {
+			dInRef, dInBatch = New(batch, inDim), New(batch, inDim)
+		}
+		refSpikeBackward(dact, mu, sigma, x, w, gwRef, gbRef, dInRef, idx, cmax, sigmaConst)
+		SpikeBackwardBatch(dact, muB, sigmaB, x, w, gwBatch, gbBatch, dInBatch, idx, cmax, sigmaConst, scr)
+		for i := range gwRef.Data {
+			if gwBatch.Data[i] != gwRef.Data[i] {
+				t.Fatalf("trial %d: gw[%d] = %v, ref %v", trial, i, gwBatch.Data[i], gwRef.Data[i])
+			}
+		}
+		for j := range gbRef {
+			if gbBatch[j] != gbRef[j] {
+				t.Fatalf("trial %d: gbias[%d] = %v, ref %v", trial, j, gbBatch[j], gbRef[j])
+			}
+		}
+		if withDIn {
+			for i := range dInRef.Data {
+				if dInBatch.Data[i] != dInRef.Data[i] {
+					t.Fatalf("trial %d: dIn[%d] = %v, ref %v", trial, i, dInBatch.Data[i], dInRef.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGemmT(b *testing.B) {
+	src := rng.NewPCG32(1, 1)
+	a := sparseMatrix(src, 32, 784, 0.35)
+	w := sparseMatrix(src, 300, 784, 0)
+	dst := New(32, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmT(dst, a, w)
+	}
+}
+
+func BenchmarkSpikeForwardBatch(b *testing.B) {
+	src := rng.NewPCG32(1, 1)
+	x := sparseMatrix(src, 8, 256, 0.35)
+	for i := range x.Data {
+		x.Data[i] = math.Abs(x.Data[i])
+	}
+	w := sparseMatrix(src, 256, 256, 0)
+	bias := make([]float64, 256)
+	mu, sigma, act := New(8, 256), New(8, 256), New(8, 256)
+	scr := NewSpikeScratch(8, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpikeForwardBatch(mu, sigma, act, x, w, bias, 1, 1e-3, 0, scr)
+	}
+}

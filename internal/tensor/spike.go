@@ -1,0 +1,258 @@
+// Batched spike-activation kernels: the Eq. (9), (14), (11) forward pass and
+// its backward pass evaluated for a whole minibatch panel at once.
+//
+// These are the minibatch-level matrix kernels of the Tea-learning hot loop.
+// They are blocked for cache (the weight row of the neuron being processed
+// stays in L1 while the gathered input panel streams) and exploit exact-zero
+// input sparsity by compacting each input row once per call instead of
+// branching on every weight — while reproducing the sample-at-a-time
+// reference loop bit for bit: every (sample, neuron) accumulation runs in
+// ascending axon order with identical expression shapes, and zero terms are
+// skipped exactly where the reference skips them (or contribute exact zeros,
+// which is a floating-point identity on these +0-seeded chains — see
+// gemm.go's header note). nn's batch_test.go pins the equivalence against
+// the per-sample reference over randomized networks.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpikeScratch holds the reusable per-call workspaces of the batched spike
+// kernels: the compacted nonzero-input panels and the per-neuron |w| / sign
+// rows. One scratch serves any core whose batch/axon extents fit; callers on
+// the training hot path allocate it once per worker shard.
+type SpikeScratch struct {
+	ks  []int32   // compacted axon indices, batch x axons
+	xs  []float64 // compacted input values, batch x axons
+	nnz []int     // nonzero count per batch row
+}
+
+// NewSpikeScratch sizes a scratch for batches up to maxBatch rows and cores
+// up to maxAxons axons.
+func NewSpikeScratch(maxBatch, maxAxons int) *SpikeScratch {
+	return &SpikeScratch{
+		ks:  make([]int32, maxBatch*maxAxons),
+		xs:  make([]float64, maxBatch*maxAxons),
+		nnz: make([]int, maxBatch),
+	}
+}
+
+func (s *SpikeScratch) ensure(batch, axons int) {
+	if s.ks == nil || len(s.nnz) < batch || len(s.ks) < batch*axons {
+		*s = *NewSpikeScratch(max(batch, len(s.nnz)), axons)
+	}
+}
+
+// compact fills the scratch's nonzero panels from x. Compacting keeps only
+// the terms the reference per-sample loop actually accumulates (it skips
+// x == 0), so iterating the compact list in order reproduces the reference
+// chain exactly.
+func (s *SpikeScratch) compact(x *Matrix) {
+	axons := x.Cols
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		ks := s.ks[r*axons:]
+		xs := s.xs[r*axons:]
+		n := 0
+		for k, v := range row {
+			if v != 0 {
+				ks[n] = int32(k)
+				xs[n] = v
+				n++
+			}
+		}
+		s.nnz[r] = n
+	}
+}
+
+// SpikeForwardBatch evaluates one core's forward pass for a whole batch:
+// x is the gathered (batch x axons) input panel, w the (neurons x axons)
+// weight matrix, and mu, sigma, act receive the (batch x neurons) Eq. (9)
+// mean, Eq. (14) standard deviation and Eq. (11) spike probability (they are
+// typically strided column views of a whole-layer panel). scr may be nil for
+// one-off calls.
+func SpikeForwardBatch(mu, sigma, act, x, w *Matrix, bias []float64, cmax, sigmaFloor, muOffset float64, scr *SpikeScratch) {
+	batch, axons, nr := x.Rows, x.Cols, w.Rows
+	if w.Cols != axons || len(bias) != nr ||
+		mu.Rows != batch || mu.Cols != nr || sigma.Rows != batch || sigma.Cols != nr ||
+		act.Rows != batch || act.Cols != nr {
+		panic(fmt.Sprintf("tensor: SpikeForwardBatch shapes x=%dx%d w=%dx%d mu=%dx%d", batch, axons, w.Rows, w.Cols, mu.Rows, mu.Cols))
+	}
+	if scr == nil {
+		scr = NewSpikeScratch(batch, axons)
+	}
+	scr.ensure(batch, axons)
+	scr.compact(x)
+	floor2 := sigmaFloor * sigmaFloor
+	// Two neurons run at once: the shared compacted input streams a single
+	// time while each neuron keeps its own ascending-axon mean/variance
+	// chains (bit-identical per neuron), and the four independent chains in
+	// flight hide the FP-add latency a single neuron's chain is bound by.
+	j := 0
+	for ; j+2 <= nr; j += 2 {
+		w0, w1 := w.Row(j), w.Row(j+1)
+		b0, b1 := bias[j], bias[j+1]
+		for s := 0; s < batch; s++ {
+			m0, m1 := b0, b1
+			v0, v1 := floor2, floor2
+			if n := scr.nnz[s]; n*8 <= axons*7 {
+				ks := scr.ks[s*axons : s*axons+n]
+				xs := scr.xs[s*axons : s*axons+n]
+				for t, k := range ks {
+					xv := xs[t]
+					wv0 := w0[k]
+					m0 += wv0 * xv
+					aw0 := math.Abs(wv0)
+					v0 += aw0 * xv * (cmax - aw0*xv)
+					wv1 := w1[k]
+					m1 += wv1 * xv
+					aw1 := math.Abs(wv1)
+					v1 += aw1 * xv * (cmax - aw1*xv)
+				}
+			} else {
+				xrow := x.Row(s)
+				for k, wv0 := range w0 {
+					xv := xrow[k]
+					m0 += wv0 * xv
+					aw0 := math.Abs(wv0)
+					v0 += aw0 * xv * (cmax - aw0*xv)
+					wv1 := w1[k]
+					m1 += wv1 * xv
+					aw1 := math.Abs(wv1)
+					v1 += aw1 * xv * (cmax - aw1*xv)
+				}
+			}
+			m0 += muOffset
+			m1 += muOffset
+			sg0, sg1 := math.Sqrt(v0), math.Sqrt(v1)
+			mu.Data[s*mu.Stride+j] = m0
+			mu.Data[s*mu.Stride+j+1] = m1
+			sigma.Data[s*sigma.Stride+j] = sg0
+			sigma.Data[s*sigma.Stride+j+1] = sg1
+			act.Data[s*act.Stride+j] = SpikeProb(m0, sg0)
+			act.Data[s*act.Stride+j+1] = SpikeProb(m1, sg1)
+		}
+	}
+	for ; j < nr; j++ {
+		wrow := w.Row(j)
+		bj := bias[j]
+		for s := 0; s < batch; s++ {
+			m := bj
+			v := floor2
+			if n := scr.nnz[s]; n*8 <= axons*7 {
+				ks := scr.ks[s*axons : s*axons+n]
+				xs := scr.xs[s*axons : s*axons+n]
+				for t, k := range ks {
+					wv := wrow[k]
+					xv := xs[t]
+					m += wv * xv
+					aw := math.Abs(wv)
+					v += aw * xv * (cmax - aw*xv)
+				}
+			} else {
+				xrow := x.Row(s)
+				for k, wv := range wrow {
+					xv := xrow[k]
+					m += wv * xv
+					aw := math.Abs(wv)
+					v += aw * xv * (cmax - aw*xv)
+				}
+			}
+			m += muOffset
+			sg := math.Sqrt(v)
+			mu.Data[s*mu.Stride+j] = m
+			sigma.Data[s*sigma.Stride+j] = sg
+			act.Data[s*act.Stride+j] = SpikeProb(m, sg)
+		}
+	}
+}
+
+// SpikeBackwardBatch runs one core's backward pass for a whole batch,
+// writing weight gradients into gw, bias gradients into gbias (both are
+// OVERWRITTEN: each destination row is zeroed cache-hot before its terms
+// accumulate — the training loop makes exactly one call per core per batch)
+// and — when dIn is non-nil — accumulating input gradients into dIn's rows
+// at the axon wiring positions idx (dIn is the whole-layer (batch x inDim)
+// gradient panel). dact, mu and sigma are (batch x neurons) views from the
+// forward pass; x is the same gathered input panel. Accumulation order
+// matches the per-sample reference exactly: for every gradient element,
+// terms arrive in ascending sample order, and within a sample in ascending
+// (neuron, axon) order.
+func SpikeBackwardBatch(dact, mu, sigma, x, w, gw *Matrix, gbias []float64, dIn *Matrix, idx []int, cmax float64, sigmaConst bool, scr *SpikeScratch) {
+	batch, axons, nr := x.Rows, x.Cols, w.Rows
+	if w.Cols != axons || gw.Rows != nr || gw.Cols != axons || len(gbias) != nr ||
+		dact.Rows != batch || dact.Cols != nr || mu.Rows != batch || mu.Cols != nr ||
+		sigma.Rows != batch || sigma.Cols != nr {
+		panic(fmt.Sprintf("tensor: SpikeBackwardBatch shapes x=%dx%d w=%dx%d dact=%dx%d", batch, axons, w.Rows, w.Cols, dact.Rows, dact.Cols))
+	}
+	if dIn != nil && len(idx) != axons {
+		panic(fmt.Sprintf("tensor: SpikeBackwardBatch %d wiring indices vs %d axons", len(idx), axons))
+	}
+	if scr == nil {
+		scr = NewSpikeScratch(batch, axons)
+	}
+	scr.ensure(batch, axons)
+	if dIn == nil {
+		// Weight gradients never see x == 0 terms (they contribute exact
+		// zeros), so the compacted panels drop them up front.
+		scr.compact(x)
+	}
+	for j := 0; j < nr; j++ {
+		wrow := w.Row(j)
+		grow := gw.Row(j)
+		for k := range grow {
+			grow[k] = 0
+		}
+		gbias[j] = 0
+		for s := 0; s < batch; s++ {
+			da := dact.Data[s*dact.Stride+j]
+			if da == 0 {
+				continue
+			}
+			m := mu.Data[s*mu.Stride+j]
+			sg := sigma.Data[s*sigma.Stride+j]
+			dMu, dSigma := SpikeProbGrad(m, sg)
+			gMu := da * dMu
+			var gVar float64 // dL/d(sigma^2)
+			if !sigmaConst && sg > 0 {
+				gVar = da * dSigma / (2 * sg)
+			}
+			gbias[j] += gMu
+			if dIn != nil {
+				xrow := x.Row(s)
+				dRow := dIn.Row(s)
+				for k, wv := range wrow {
+					xv := xrow[k]
+					aw := math.Abs(wv)
+					sw := sign(wv)
+					// d mu / d w = x ; d var / d w = sign(w)*x*(CMax - 2|w|x)
+					grow[k] += gMu*xv + gVar*sw*xv*(cmax-2*aw*xv)
+					// d mu / d x = w ; d var / d x = |w|*(CMax - 2|w|x)
+					dRow[idx[k]] += gMu*wv + gVar*aw*(cmax-2*aw*xv)
+				}
+			} else {
+				n := scr.nnz[s]
+				ks := scr.ks[s*axons : s*axons+n]
+				xs := scr.xs[s*axons : s*axons+n]
+				for t, k := range ks {
+					xv := xs[t]
+					wv := wrow[k]
+					aw := math.Abs(wv)
+					sw := sign(wv)
+					grow[k] += gMu*xv + gVar*sw*xv*(cmax-2*aw*xv)
+				}
+			}
+		}
+	}
+}
+
+// sign returns the branch-light sign of v: Copysign compiles to bit ops, and
+// the exact-zero fixup branch is almost never taken on trained weights.
+func sign(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return math.Copysign(1, v)
+}

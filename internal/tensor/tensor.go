@@ -34,6 +34,26 @@ func FromSlice(rows, cols int, data []float64) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: data}
 }
 
+// View returns the rows x cols sub-matrix starting at (r0, c0), aliasing the
+// receiver's storage (Stride is inherited, so the view is generally
+// non-compact). Mutations through the view are visible in the parent.
+// View is kept small enough to inline so that hot-loop views of scratch
+// panels stay on the caller's stack instead of allocating.
+func (m *Matrix) View(r0, c0, rows, cols int) *Matrix {
+	if r0 < 0 || c0 < 0 || rows < 0 || cols < 0 || r0+rows > m.Rows || c0+cols > m.Cols {
+		viewPanic(m, r0, c0, rows, cols)
+	}
+	if rows == 0 || cols == 0 {
+		return &Matrix{Rows: rows, Cols: cols, Stride: m.Stride}
+	}
+	lo := r0*m.Stride + c0
+	return &Matrix{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[lo : (r0+rows-1)*m.Stride+c0+cols]}
+}
+
+func viewPanic(m *Matrix, r0, c0, rows, cols int) {
+	panic(fmt.Sprintf("tensor: View [%d:%d, %d:%d] outside %dx%d", r0, r0+rows, c0, c0+cols, m.Rows, m.Cols))
+}
+
 // At returns element (r,c).
 func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Stride+c] }
 
