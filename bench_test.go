@@ -1,5 +1,5 @@
 // Package repro's root benchmark harness: one testing.B benchmark per table
-// and figure of the paper (DESIGN.md section 4 maps each to its experiment).
+// and figure of the paper (docs/ARCHITECTURE.md "Experiment index" maps each to its experiment).
 //
 // Each benchmark regenerates its experiment at micro scale (tiny datasets,
 // few epochs) so `go test -bench=. -benchmem` finishes in minutes while still
@@ -319,6 +319,52 @@ func BenchmarkEngineClassifyChip(b *testing.B) {
 		if _, err := eng.Classify(test.X[:50], 1, rng.NewPCG32(uint64(i), 4)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// chipFrameFixture lowers the bench-1 model onto a chip and returns the net
+// plus one test input for per-frame chip benchmarks.
+func chipFrameFixture(b *testing.B) (*deploy.ChipNet, []float64) {
+	b.Helper()
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := r.Data(bench)
+	sn := deploy.Sample(m.Net, rng.NewPCG32(1, 1), deploy.DefaultSampleConfig())
+	cn, err := deploy.BuildChip(sn, deploy.MapSigned, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 28*28)
+	copy(x, test.X[0])
+	return cn, x
+}
+
+// BenchmarkChipDeployFrame measures one cycle-accurate classification frame
+// on the lowered bench-1 chip (4 cores, 4 spf) under the event-driven
+// simulator — the chip-path sibling of BenchmarkDeployFrame (BENCH_5.json).
+func BenchmarkChipDeployFrame(b *testing.B) {
+	cn, x := chipFrameFixture(b)
+	src := rng.NewPCG32(2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cn.Frame(x, 4, src)
+	}
+}
+
+// BenchmarkChipDeployFrameDense is the dense-reference baseline for
+// BenchmarkChipDeployFrame: the identical frame through Chip.TickDense.
+func BenchmarkChipDeployFrameDense(b *testing.B) {
+	cn, x := chipFrameFixture(b)
+	src := rng.NewPCG32(2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cn.FrameDense(x, 4, src)
 	}
 }
 

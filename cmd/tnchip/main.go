@@ -32,6 +32,7 @@ func main() {
 		copies    = flag.Int("copies", 1, "network copies to place")
 		frames    = flag.Int("frames", 50, "test frames to run through the chip")
 		workers   = flag.Int("workers", 1, "worker goroutines, each simulating a private chip (0 = GOMAXPROCS; stochastic leak draws then depend on worker count, so the default stays single-threaded for bit-reproducible output)")
+		dense     = flag.Bool("dense", false, "force the dense reference simulator (TickDense) instead of the event-driven tick; results are bit-identical, only speed differs")
 		deviation = flag.String("deviation", "", "write a deviation PGM of layer0/core0 and exit")
 	)
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cp.Dense = *dense
 	fmt.Printf("model %s/%s: %d copies -> %d cores (%.1f%% of one %d-core chip)\n",
 		m.Meta.Bench, m.Meta.Penalty, *copies, cp.Cores(),
 		100*float64(cp.Cores())/float64(truenorth.ChipCapacity), truenorth.ChipCapacity)

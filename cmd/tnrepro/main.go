@@ -109,7 +109,7 @@ func run() (code int) {
 	ids := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		ids = []string{"table1", "section31", "l1sparsity", "fig5", "fig4",
-			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "ablations"}
+			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "chipscale", "ablations"}
 	}
 	start := time.Now()
 	if *trainOnly {
@@ -222,6 +222,12 @@ func runExperiment(r *eval.Runner, id string, getFig7 func() (*eval.Fig7Result, 
 			return err
 		}
 		fmt.Println(eval.RenderTable3(rows))
+	case "chipscale":
+		c, err := eval.ChipScale(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderChipScale(c))
 	case "ablations":
 		sig, err := eval.AblationSigma(r)
 		if err != nil {

@@ -46,10 +46,20 @@ type ChipNet struct {
 	Chip *truenorth.Chip
 	// inputTargets[i] lists every (core, axon) fed by logical input i.
 	inputTargets [][]truenorth.Target
-	classes      int
-	classN       []int
-	depth        int
-	mapping      Mapping
+	// inputRuns holds, per layer-0 core, the compiled word-level gather
+	// program staging a logical input spike vector onto that core's axons
+	// (MapSigned only; dual-axon interleaving defeats contiguous runs).
+	inputRuns []inputRun
+	classes   int
+	classN    []int
+	depth     int
+	mapping   Mapping
+}
+
+// inputRun pairs a layer-0 chip core with its compiled input gather program.
+type inputRun struct {
+	core int
+	runs []truenorth.BlitRun
 }
 
 // BuildChip lowers sn onto a fresh chip. Fan-out (one logical neuron feeding
@@ -59,12 +69,59 @@ type ChipNet struct {
 // hardware. Returns an error if any core exceeds its crossbar, the chip
 // capacity is exhausted, or the mapping cannot realize the topology.
 func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
-	if mapping == MapDualAxon && len(sn.layers) > 1 {
-		return nil, fmt.Errorf("deploy: %v mapping supports single-layer networks only (hidden fan-in of both signs needs splitter cores)", mapping)
-	}
 	ch := truenorth.NewChip(seed)
 	cn := &ChipNet{Chip: ch, classes: sn.classes, classN: sn.classN, depth: len(sn.layers), mapping: mapping}
 	ch.SetExternalSinks(sn.classes)
+	if err := cn.lower(sn); err != nil {
+		return nil, err
+	}
+	return cn, nil
+}
+
+// BuildChipEnsemble lowers every sampled copy onto one shared chip: the
+// paper's spatial-averaging ensemble as the hardware would actually host it,
+// with all copies' final layers merging into the same per-class external
+// sinks (the merged readout of Fig. 3). One Frame call therefore yields the
+// ensemble-summed class counts directly. This is the builder behind the
+// chip-scale occupancy ladder: a full 4096-core chip is one ensemble, one
+// simulator instance.
+func BuildChipEnsemble(nets []*SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("deploy: ensemble needs at least one sampled copy")
+	}
+	ch := truenorth.NewChip(seed)
+	cn := &ChipNet{Chip: ch, classes: nets[0].classes, classN: nets[0].classN, depth: len(nets[0].layers), mapping: mapping}
+	ch.SetExternalSinks(cn.classes)
+	for c, sn := range nets {
+		if sn.classes != cn.classes || len(sn.layers) != cn.depth {
+			return nil, fmt.Errorf("deploy: ensemble copy %d shape mismatch (%d classes depth %d vs %d/%d)",
+				c, sn.classes, len(sn.layers), cn.classes, cn.depth)
+		}
+		// DecideClass normalizes the merged sinks by nets[0]'s per-class
+		// neuron counts, so every copy must merge the same readout shape.
+		for k, n := range sn.classN {
+			if n != cn.classN[k] {
+				return nil, fmt.Errorf("deploy: ensemble copy %d readout mismatch (class %d has %d neurons, want %d)",
+					c, k, n, cn.classN[k])
+			}
+		}
+		if err := cn.lower(sn); err != nil {
+			return nil, fmt.Errorf("deploy: ensemble copy %d: %w", c, err)
+		}
+	}
+	return cn, nil
+}
+
+// lower appends sn's cores, routing and input-injection maps onto cn's chip.
+// It may be called repeatedly to co-locate several sampled copies on one chip
+// (BuildChipEnsemble); every call wires its final layer into the shared
+// external sinks.
+func (cn *ChipNet) lower(sn *SampledNet) error {
+	if cn.mapping == MapDualAxon && len(sn.layers) > 1 {
+		return fmt.Errorf("deploy: %v mapping supports single-layer networks only (hidden fan-in of both signs needs splitter cores)", cn.mapping)
+	}
+	ch := cn.Chip
+	mapping := cn.mapping
 
 	// fanout[li][g] lists the (next-layer core, gather axon) destinations of
 	// exported neuron g of layer li.
@@ -115,22 +172,22 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 				}
 			}
 			if len(slots) > truenorth.DefaultCoreSize {
-				return nil, fmt.Errorf("deploy: layer %d core %d needs %d physical neurons after fan-out duplication (max %d)",
+				return fmt.Errorf("deploy: layer %d core %d needs %d physical neurons after fan-out duplication (max %d)",
 					li, ci, len(slots), truenorth.DefaultCoreSize)
 			}
 			if axons > truenorth.DefaultCoreSize {
-				return nil, fmt.Errorf("deploy: layer %d core %d needs %d axons under %v mapping (max %d)",
+				return fmt.Errorf("deploy: layer %d core %d needs %d axons under %v mapping (max %d)",
 					li, ci, axons, mapping, truenorth.DefaultCoreSize)
 			}
 			idx, core, err := ch.AddCore(axons, len(slots))
 			if err != nil {
-				return nil, fmt.Errorf("deploy: layer %d core %d: %w", li, ci, err)
+				return fmt.Errorf("deploy: layer %d core %d: %w", li, ci, err)
 			}
 			coreIdx[li][ci] = idx
 			for pj, s := range slots {
 				configureNeuron(core, sn, c, mapping, pj, s.logical)
 				if err := ch.Route(idx, pj, s.target); err != nil {
-					return nil, fmt.Errorf("deploy: route layer %d core %d neuron %d: %w", li, ci, pj, err)
+					return fmt.Errorf("deploy: route layer %d core %d neuron %d: %w", li, ci, pj, err)
 				}
 			}
 			if mapping == MapDualAxon {
@@ -143,9 +200,14 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 		}
 	}
 
-	// Input injection map.
+	// Input injection map (appending: ensemble copies share the logical
+	// input space, so every copy's layer-0 cores hang off the same indices).
 	in0 := sn.layers[0]
-	cn.inputTargets = make([][]truenorth.Target, in0.plan.inDim)
+	if cn.inputTargets == nil {
+		cn.inputTargets = make([][]truenorth.Target, in0.plan.inDim)
+	} else if len(cn.inputTargets) != in0.plan.inDim {
+		return fmt.Errorf("deploy: ensemble copy input dim %d != %d", in0.plan.inDim, len(cn.inputTargets))
+	}
 	for ci, c := range in0.cores {
 		for a, idx := range c.plan.in {
 			axon := a
@@ -154,8 +216,14 @@ func BuildChip(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, error) {
 			}
 			cn.inputTargets[idx] = append(cn.inputTargets[idx], truenorth.Target{Core: coreIdx[0][ci], Axon: axon})
 		}
+		if mapping == MapSigned {
+			// Under the signed mapping axon a reads logical input in[a]
+			// directly, so the fast path's compiled gather program doubles as
+			// a word-level injection plan.
+			cn.inputRuns = append(cn.inputRuns, inputRun{core: coreIdx[0][ci], runs: c.plan.gather})
+		}
 	}
-	return cn, nil
+	return nil
 }
 
 // configureNeuron fills physical neuron pj of core with the sampled row of
@@ -192,6 +260,12 @@ func (cn *ChipNet) Depth() int { return cn.depth }
 // injected into all its target (core, axon) pairs — and, under dual-axon
 // mapping, into both typed axons of each pair.
 func (cn *ChipNet) InjectInput(spikes truenorth.BitVec) {
+	if cn.inputRuns != nil {
+		for _, ir := range cn.inputRuns {
+			cn.Chip.InjectRuns(ir.core, spikes, ir.runs)
+		}
+		return
+	}
 	dual := cn.mapping == MapDualAxon
 	for i, targets := range cn.inputTargets {
 		if !spikes.Get(i) {
@@ -215,6 +289,19 @@ func (cn *ChipNet) InjectInput(spikes truenorth.BitVec) {
 // spikes that carry no information — the real chip's readout aligns its
 // counting window the same way.
 func (cn *ChipNet) Frame(x []float64, spf int, src rng.Source) []int64 {
+	return cn.frame(x, spf, src, (*truenorth.Chip).Tick)
+}
+
+// FrameDense is Frame driven by the dense reference simulator
+// (truenorth.Chip.TickDense) instead of the event-driven tick. It exists for
+// the event-vs-dense parity suite and the before/after benchmarks; results
+// are bit-identical to Frame by the chip parity contract
+// (docs/DETERMINISM.md).
+func (cn *ChipNet) FrameDense(x []float64, spf int, src rng.Source) []int64 {
+	return cn.frame(x, spf, src, (*truenorth.Chip).TickDense)
+}
+
+func (cn *ChipNet) frame(x []float64, spf int, src rng.Source, tick func(*truenorth.Chip)) []int64 {
 	cn.Chip.ResetActivity()
 	spikes := truenorth.NewBitVec(len(cn.inputTargets))
 	total := spf + cn.depth - 1
@@ -229,7 +316,7 @@ func (cn *ChipNet) Frame(x []float64, spf int, src rng.Source) []int64 {
 			}
 			cn.InjectInput(spikes)
 		}
-		cn.Chip.Tick()
+		tick(cn.Chip)
 		if t == cn.depth-1 {
 			copy(baseline, cn.Chip.ExternalCounts())
 		}

@@ -1,0 +1,223 @@
+package deploy
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// fractionalBiasNet builds a 1-layer random network with fractional biases so
+// the lowered chip draws stochastic leak randomness every tick — the
+// worst-case configuration for event-driven/dense parity, since every core
+// must consume per-core PRNG words in exactly the dense order even when its
+// axons are quiet.
+func fractionalBiasNet(neurons, inputs, classes int, seed uint64) *nn.Network {
+	src := rng.NewPCG32(seed, 2)
+	w := make([][]float64, neurons)
+	bias := make([]float64, neurons)
+	for j := range w {
+		w[j] = make([]float64, inputs)
+		for i := range w[j] {
+			w[j][i] = rng.Float64(src)*2 - 1
+		}
+		bias[j] = rng.Float64(src)*4 - 2 // fractional leak in (-2, 2)
+	}
+	return singleCoreNet(w, bias, classes)
+}
+
+// TestChipFrameEventMatchesDense pins the deploy-level face of the chip
+// parity contract: whole classification frames on lowered networks —
+// including stochastic fractional leak, multi-layer fan-out duplication and
+// both mappings — are bit-identical between ChipNet.Frame (event-driven) and
+// ChipNet.FrameDense (dense oracle).
+func TestChipFrameEventMatchesDense(t *testing.T) {
+	type build func(seed uint64) (event, dense *ChipNet, inDim int)
+	mkPair := func(sn *SampledNet, mapping Mapping, seed uint64) (*ChipNet, *ChipNet) {
+		a, err := BuildChip(sn, mapping, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildChip(sn, mapping, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	cases := map[string]build{
+		"fractional-leak-single-layer": func(seed uint64) (*ChipNet, *ChipNet, int) {
+			net := fractionalBiasNet(10, 14, 2, seed)
+			sn := Sample(net, rng.NewPCG32(seed, 3), DefaultSampleConfig())
+			a, b := mkPair(sn, MapSigned, seed)
+			return a, b, 14
+		},
+		"fractional-leak-dual-axon": func(seed uint64) (*ChipNet, *ChipNet, int) {
+			net := fractionalBiasNet(6, 9, 2, seed)
+			sn := Sample(net, rng.NewPCG32(seed, 4), DefaultSampleConfig())
+			a, b := mkPair(sn, MapDualAxon, seed)
+			return a, b, 9
+		},
+		"multi-layer-fanout": func(seed uint64) (*ChipNet, *ChipNet, int) {
+			arch := &nn.Arch{
+				Name: "parity", InputH: 8, InputW: 8, Block: 4, Stride: 2,
+				CoreSize: 16, Classes: 2, Tau: 4,
+				Windows: []nn.Window{{Size: 2, Stride: 1}},
+			}
+			net, err := arch.Build(rng.NewPCG32(seed, 5), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sn := Sample(net, rng.NewPCG32(seed, 6), DefaultSampleConfig())
+			a, b := mkPair(sn, MapSigned, seed)
+			return a, b, 64
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			for rep := 0; rep < 10; rep++ {
+				seed := uint64(100 + rep*13)
+				event, dense, inDim := mk(seed)
+				x := make([]float64, inDim)
+				xsrc := rng.NewPCG32(seed, 7)
+				for i := range x {
+					x[i] = rng.Float64(xsrc)
+				}
+				spf := 1 + rep%4
+				a := event.Frame(x, spf, rng.NewPCG32(seed, 8))
+				b := dense.FrameDense(x, spf, rng.NewPCG32(seed, 8))
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("rep %d spf %d class %d: event %d vs dense %d", rep, spf, k, a[k], b[k])
+					}
+				}
+				sa, sb := event.Chip.Stats(), dense.Chip.Stats()
+				if sa != sb {
+					t.Fatalf("rep %d: stats %+v vs %+v", rep, sa, sb)
+				}
+			}
+		})
+	}
+}
+
+// TestChipFrameEventMatchesDenseRandomizedNets widens the frame-level cross
+// check to 30 randomized single-layer networks with mixed integer and
+// fractional biases across sizes — the deploy-side sibling of
+// truenorth.TestEventTickMatchesDenseRandomized.
+func TestChipFrameEventMatchesDenseRandomizedNets(t *testing.T) {
+	for n := 0; n < 30; n++ {
+		n := n
+		t.Run(fmt.Sprintf("net%02d", n), func(t *testing.T) {
+			seed := uint64(5000 + n*31)
+			src := rng.NewPCG32(seed, 1)
+			classes := 2 + rng.Intn(src, 3)
+			neurons := classes + rng.Intn(src, 12)
+			inputs := 4 + rng.Intn(src, 20)
+			w := make([][]float64, neurons)
+			bias := make([]float64, neurons)
+			for j := range w {
+				w[j] = make([]float64, inputs)
+				for i := range w[j] {
+					w[j][i] = rng.Float64(src)*2 - 1
+				}
+				if rng.Bernoulli(src, 0.5) {
+					bias[j] = float64(rng.Intn(src, 5) - 2)
+				} else {
+					bias[j] = rng.Float64(src)*3 - 1.5
+				}
+			}
+			net := singleCoreNet(w, bias, classes)
+			sn := Sample(net, rng.NewPCG32(seed, 2), DefaultSampleConfig())
+			event, err := BuildChip(sn, MapSigned, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, err := BuildChip(sn, MapSigned, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, inputs)
+			for i := range x {
+				x[i] = rng.Float64(src)
+			}
+			for frame := 0; frame < 3; frame++ {
+				// Reuse one src per chip across frames: core PRNG state must
+				// stay aligned across ResetActivity boundaries too.
+				a := event.Frame(x, 2, rng.NewPCG32(seed, uint64(9+frame)))
+				b := dense.FrameDense(x, 2, rng.NewPCG32(seed, uint64(9+frame)))
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("frame %d class %d: event %d vs dense %d", frame, k, a[k], b[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChipEnsembleMatchesSeparateChips pins BuildChipEnsemble semantics: the
+// shared-chip ensemble's merged class counts equal the sum of per-copy chips
+// run separately. Integer biases and binary input keep both sides fully
+// deterministic, so the equality is exact.
+func TestChipEnsembleMatchesSeparateChips(t *testing.T) {
+	net := integerBiasNet(8, 12, 2, 33)
+	root := rng.NewPCG32(34, 1)
+	nets := []*SampledNet{
+		Sample(net, root.Split(0), DefaultSampleConfig()),
+		Sample(net, root.Split(1), DefaultSampleConfig()),
+		Sample(net, root.Split(2), DefaultSampleConfig()),
+	}
+	ens, err := BuildChipEnsemble(nets, MapSigned, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ens.Chip.NumCores(), 3*nets[0].NumCores(); got != want {
+		t.Fatalf("ensemble cores %d, want %d", got, want)
+	}
+	x := binaryInput(12, 36)
+	got := ens.Frame(x, 3, rng.NewPCG32(37, 1))
+	want := make([]int64, len(got))
+	for _, sn := range nets {
+		cn, err := BuildChip(sn, MapSigned, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range cn.Frame(x, 3, rng.NewPCG32(37, 1)) {
+			want[k] += v
+		}
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("class %d: ensemble %d vs summed %d", k, got[k], want[k])
+		}
+	}
+	// And the ensemble frame is itself event/dense bit-identical.
+	ens2, err := BuildChipEnsemble(nets, MapSigned, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := ens2.FrameDense(x, 3, rng.NewPCG32(37, 1))
+	for k := range got {
+		if got[k] != dense[k] {
+			t.Fatalf("class %d: event %d vs dense %d", k, got[k], dense[k])
+		}
+	}
+}
+
+// TestChipEnsembleRejectsMismatch covers the ensemble shape validation.
+func TestChipEnsembleRejectsMismatch(t *testing.T) {
+	if _, err := BuildChipEnsemble(nil, MapSigned, 1); err == nil {
+		t.Fatal("empty ensemble accepted")
+	}
+	a := Sample(integerBiasNet(8, 12, 2, 1), rng.NewPCG32(2, 2), DefaultSampleConfig())
+	b := Sample(integerBiasNet(9, 12, 3, 3), rng.NewPCG32(4, 4), DefaultSampleConfig())
+	if _, err := BuildChipEnsemble([]*SampledNet{a, b}, MapSigned, 5); err == nil {
+		t.Fatal("class-count mismatch accepted")
+	}
+	// Same class count, different per-class readout widths: DecideClass would
+	// mis-normalize the merged sinks, so the builder must reject it.
+	c := Sample(integerBiasNet(10, 12, 2, 6), rng.NewPCG32(7, 7), DefaultSampleConfig())
+	if _, err := BuildChipEnsemble([]*SampledNet{a, c}, MapSigned, 8); err == nil {
+		t.Fatal("readout-width mismatch accepted")
+	}
+}

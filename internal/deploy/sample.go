@@ -25,6 +25,7 @@ package deploy
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -277,10 +278,27 @@ func (sn *SampledNet) Tick(fs *FrameScratch, src rng.Source, classCounts []int64
 				}
 			}
 			thr := pc.realizeThresholds(c.stoch, src, fs.thr)
+			// The 256-axon core of every paper bench is 4 words wide; walking
+			// the packed arena directly with hoisted input words removes the
+			// per-neuron slice construction and inner loop of the generic
+			// AndPopcountDiff (bit-identical: same popcounts, same order).
+			w4 := c.words == 4 && len(local) == 4
+			var a0, a1, a2, a3 uint64
+			if w4 {
+				a0, a1, a2, a3 = local[0], local[1], local[2], local[3]
+			}
 			for j := 0; j < pc.neurons; j++ {
 				var d int32
 				if !idle {
-					d = int32(truenorth.AndPopcountDiff(local, c.row(j)))
+					if w4 {
+						m := c.masks[j*8 : j*8+8 : j*8+8]
+						d = int32(bits.OnesCount64(a0&m[0]) + bits.OnesCount64(a1&m[1]) +
+							bits.OnesCount64(a2&m[2]) + bits.OnesCount64(a3&m[3]) -
+							bits.OnesCount64(a0&m[4]) - bits.OnesCount64(a1&m[5]) -
+							bits.OnesCount64(a2&m[6]) - bits.OnesCount64(a3&m[7]))
+					} else {
+						d = int32(truenorth.AndPopcountDiff(local, c.row(j)))
+					}
 				}
 				if d < thr[j] {
 					continue

@@ -7,7 +7,7 @@ import (
 	"repro/internal/rng"
 )
 
-// The ablations quantify the design choices DESIGN.md section 5 calls out.
+// The ablations quantify the design choices docs/ARCHITECTURE.md "Design choices" calls out.
 // They are our additions: the paper does not report them, so every result is
 // labelled "ours" in the experiment output.
 

@@ -1,6 +1,6 @@
 // Package eval is the experiment harness: it maps every table and figure of
 // the paper's evaluation section to a function that regenerates it on the
-// simulated TrueNorth substrate (see DESIGN.md section 4 for the index).
+// simulated TrueNorth substrate (see docs/ARCHITECTURE.md "Experiment index").
 package eval
 
 import (

@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/rng"
+	"repro/internal/truenorth"
+)
+
+// ChipScaleEntry is one rung of the chip-scale occupancy ladder: a spatial
+// ensemble of sampled copies co-located on one simulated chip
+// (deploy.BuildChipEnsemble), with measured accuracy, activity and energy.
+type ChipScaleEntry struct {
+	// Copies is the ensemble size; Cores the resulting physical occupation.
+	Copies, Cores int
+	// Fill is Cores as a fraction of the 4096-core chip.
+	Fill float64
+	// Accuracy is the ensemble's measured accuracy over the evaluated frames.
+	Accuracy float64
+	// SynEventsPerFrame and SpikesPerFrame are mean per-frame activity counts.
+	SynEventsPerFrame, SpikesPerFrame float64
+	// EnergyPerFrame is the 26 pJ/event synaptic energy estimate per frame.
+	EnergyPerFrame float64
+	// FrameWall is the mean simulator wall time per frame.
+	FrameWall time.Duration
+}
+
+// ChipScaleResult is the Table 2(a)-style occupancy ladder extended onto the
+// cycle-accurate chip path, up to a full 4096-core chip.
+type ChipScaleResult struct {
+	Bench   Bench
+	Penalty string
+	SPF     int
+	Frames  int
+	Entries []ChipScaleEntry
+}
+
+// ChipScale extends the paper's core-occupation ladder (Table 2a) to chip
+// scale: bench-2 biased-model ensembles of growing copy counts are lowered
+// onto one shared simulated chip each — the top rung occupying all 4096 cores
+// — and evaluated frame by frame on the event-driven simulator with activity
+// and energy accounting. Under the pre-overhaul dense simulator the top rung
+// alone cost ~50 ms per tick of pure core walking; event-driven evaluation
+// makes the sweep routine (BENCH_5.json).
+func ChipScale(r *Runner) (*ChipScaleResult, error) {
+	b, err := BenchByID(2) // 16 cores per copy under the signed mapping
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model(b, "biased")
+	if err != nil {
+		return nil, err
+	}
+	_, test := r.Data(b)
+	copies := []int{16, 64, 256} // 256, 1024, 4096 cores
+	frames := 24
+	if r.Opt.Quick {
+		copies = []int{4, 16, 64}
+		frames = 8
+	}
+	if n := test.Len(); frames > n {
+		frames = n
+	}
+	res := &ChipScaleResult{Bench: b, Penalty: "biased", SPF: 1, Frames: frames}
+	plan := deploy.CompileQuant(m.Net)
+	root := rng.NewPCG32(r.Opt.Seed+4096, 11)
+	for _, nc := range copies {
+		if err := r.ctxErr(); err != nil {
+			return nil, err
+		}
+		nets := make([]*deploy.SampledNet, nc)
+		for c := range nets {
+			nets[c] = plan.Sample(root.Split(uint64(c)), deploy.DefaultSampleConfig())
+		}
+		cn, err := deploy.BuildChipEnsemble(nets, deploy.MapSigned, r.Opt.Seed+uint64(nc))
+		if err != nil {
+			return nil, fmt.Errorf("eval: chipscale %d copies: %w", nc, err)
+		}
+		src := rng.NewPCG32(r.Opt.Seed+uint64(nc), 13)
+		correct := 0
+		var stats truenorth.Stats
+		start := time.Now()
+		for f := 0; f < frames; f++ {
+			counts := cn.Frame(test.X[f], res.SPF, src)
+			if cn.DecideClass(counts) == test.Y[f] {
+				correct++
+			}
+			s := cn.Chip.Stats() // Frame resets activity, so this is per-frame
+			stats.Ticks += s.Ticks
+			stats.Spikes += s.Spikes
+			stats.SynEvents += s.SynEvents
+		}
+		wall := time.Since(start)
+		e := ChipScaleEntry{
+			Copies:            nc,
+			Cores:             cn.Chip.NumCores(),
+			Fill:              float64(cn.Chip.NumCores()) / float64(truenorth.ChipCapacity),
+			Accuracy:          float64(correct) / float64(frames),
+			SynEventsPerFrame: float64(stats.SynEvents) / float64(frames),
+			SpikesPerFrame:    float64(stats.Spikes) / float64(frames),
+			EnergyPerFrame:    stats.SynapticEnergyJoules() / float64(frames),
+			FrameWall:         wall / time.Duration(frames),
+		}
+		res.Entries = append(res.Entries, e)
+		r.logf("chipscale: %d copies -> %d cores (%.0f%% chip), acc %.4f, %.3g J/frame, %v/frame",
+			e.Copies, e.Cores, e.Fill*100, e.Accuracy, e.EnergyPerFrame, e.FrameWall.Round(time.Microsecond))
+	}
+	return res, nil
+}
+
+// ctxErr reports a pending cancellation on the runner's options context.
+func (r *Runner) ctxErr() error {
+	if r.Opt.Ctx == nil {
+		return nil
+	}
+	return r.Opt.Ctx.Err()
+}

@@ -407,3 +407,31 @@ func readFile(path string) (string, error) {
 	b, err := os.ReadFile(path)
 	return string(b), err
 }
+
+func TestChipScaleLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bench-2 model and simulates up to 1024 cores")
+	}
+	r := NewRunner(testOptions(), nil)
+	res, err := ChipScale(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 {
+		t.Fatalf("%d rungs", len(res.Entries))
+	}
+	for i, e := range res.Entries {
+		if e.Cores != e.Copies*16 {
+			t.Fatalf("rung %d: %d copies -> %d cores", i, e.Copies, e.Cores)
+		}
+		if e.SynEventsPerFrame <= 0 || e.EnergyPerFrame <= 0 {
+			t.Fatalf("rung %d: no activity accounted: %+v", i, e)
+		}
+		if i > 0 && e.SynEventsPerFrame <= res.Entries[i-1].SynEventsPerFrame {
+			t.Fatalf("activity must grow with occupancy: rung %d %+v", i, e)
+		}
+	}
+	if out := RenderChipScale(res); !strings.Contains(out, "cores") {
+		t.Fatalf("render: %q", out)
+	}
+}

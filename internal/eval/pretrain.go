@@ -52,6 +52,8 @@ func Pretrain(r *Runner, id string) error {
 		return models([]int{1}, "none", "biased")
 	case "fig9b", "table3":
 		return models(allBenches, "none", "biased")
+	case "chipscale":
+		return models([]int{2}, "biased")
 	default:
 		return fmt.Errorf("eval: pretrain: unknown experiment %q", id)
 	}

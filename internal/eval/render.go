@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/deploy"
 )
@@ -16,7 +17,7 @@ func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
 // RenderTable1 formats the dataset table.
 func RenderTable1(rows []Table1Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table 1. Test datasets (synthetic substitutes; see DESIGN.md)\n")
+	fmt.Fprintf(&b, "Table 1. Test datasets (synthetic substitutes; see docs/ARCHITECTURE.md)\n")
 	fmt.Fprintf(&b, "%-28s %-30s %9s %9s %9s %8s\n", "Dataset", "Description", "Train", "Test", "Features", "Classes")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-28s %-30s %9d %9d %9d %8d\n", r.Dataset, r.Description, r.TrainSize, r.TestSize, r.Features, r.Classes)
@@ -252,4 +253,18 @@ func WriteSurfaceCSV(dir, name string, s *deploy.SurfaceResult) (string, error) 
 		return "", err
 	}
 	return path, f.Close()
+}
+
+// RenderChipScale formats the chip-scale occupancy ladder.
+func RenderChipScale(c *ChipScaleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chip-scale occupancy ladder (%s, %s penalty, %d spf, %d frames, one shared chip per rung):\n",
+		c.Bench.Name, c.Penalty, c.SPF, c.Frames)
+	fmt.Fprintf(&b, "  %7s %6s %6s %9s %14s %12s %12s\n",
+		"copies", "cores", "fill", "accuracy", "synev/frame", "J/frame", "wall/frame")
+	for _, e := range c.Entries {
+		fmt.Fprintf(&b, "  %7d %6d %5.0f%% %9.4f %14.0f %12.3g %12v\n",
+			e.Copies, e.Cores, e.Fill*100, e.Accuracy, e.SynEventsPerFrame, e.EnergyPerFrame, e.FrameWall.Round(time.Microsecond))
+	}
+	return b.String()
 }

@@ -11,7 +11,7 @@ import (
 // Window describes how one hidden core layer reads the core grid of the
 // previous layer: each new core covers a Size x Size window of previous cores,
 // windows advancing by Stride. This is the inter-layer routing scheme chosen
-// for the deep test benches (DESIGN.md section 5.1); the paper specifies only
+// for the deep test benches (docs/ARCHITECTURE.md "Design choices"); the paper specifies only
 // the resulting core counts (Table 3: 49~9~4 and 16~9).
 type Window struct {
 	Size, Stride int

@@ -24,7 +24,7 @@ type TrainConfig struct {
 	// Warmup delays the penalty: Lambda is applied only from epoch Warmup
 	// onwards, letting the task structure form before probabilities are
 	// polarized. The paper does not document its schedule; this is our
-	// training-schedule choice (DESIGN.md section 5) and Warmup=0 recovers
+	// training-schedule choice (docs/ARCHITECTURE.md "Design choices") and Warmup=0 recovers
 	// penalty-from-the-start behaviour.
 	Warmup int
 	Seed   uint64

@@ -5,7 +5,7 @@
 // The real MNIST corpus is not redistributable inside this offline
 // reproduction, so we substitute a generator that exercises the identical code
 // path the paper's experiments need: normalized pixel intensities feeding
-// 16x16 block cores (DESIGN.md section 2). Each digit is a polyline skeleton
+// 16x16 block cores (docs/ARCHITECTURE.md "The simulated substrate"). Each digit is a polyline skeleton
 // in the unit square; per-sample randomness applies an affine warp (rotation,
 // anisotropic scale, shear, translation), control-point jitter, variable
 // stroke thickness, intensity scaling, and speckle noise, producing

@@ -360,10 +360,10 @@ func refSpikeBackward(dact, mu, sigma, x, w, gw *Matrix, gbias []float64, dIn *M
 func TestSpikeKernelsMatchReference(t *testing.T) {
 	src := rng.NewPCG32(77, 3)
 	for trial := 0; trial < 60; trial++ {
-		batch := rng.Intn(src, 9)             // 0..8
-		axons := 1 + rng.Intn(src, 40)        // 1..40
-		nr := 1 + rng.Intn(src, 24)           // 1..24
-		zeroFrac := rng.Float64(src) * 1.05   // sometimes fully dense
+		batch := rng.Intn(src, 9)           // 0..8
+		axons := 1 + rng.Intn(src, 40)      // 1..40
+		nr := 1 + rng.Intn(src, 24)         // 1..24
+		zeroFrac := rng.Float64(src) * 1.05 // sometimes fully dense
 		cmax := 1 + rng.Float64(src)
 		sigmaFloor := 0.0
 		if rng.Bernoulli(src, 0.7) {

@@ -2,8 +2,9 @@
 // neuro-synaptic architecture: binary-spike cores with configurable synaptic
 // crossbars, four axon types with per-neuron weight tables, leaky
 // integrate-and-fire neurons with stochastic leak, and a tick-driven
-// spike-routing chip model (DESIGN.md section 2 documents the substitution
-// for the real NS1e hardware and the NSCS simulator used by the paper).
+// spike-routing chip model (docs/ARCHITECTURE.md "The simulated
+// substrate" documents the substitution for the real NS1e hardware and the
+// NSCS simulator used by the paper).
 //
 // The simulator is bit-parallel: axon activity and synaptic connectivity are
 // stored as bit vectors, so one neuron integration is a handful of AND +
@@ -109,19 +110,45 @@ func (b BitVec) Gather(src BitVec, plan []BlitRun) {
 }
 
 // OrRange ORs n bits of src starting at srcOff into dst starting at dstOff.
-// Neither offset needs any alignment; the copy proceeds one destination word
-// per step.
+// Neither offset needs any alignment.
 func OrRange(dst BitVec, dstOff int, src BitVec, srcOff, n int) {
+	OrRangeAny(dst, dstOff, src, srcOff, n)
+}
+
+// OrRangeAny is OrRange that additionally reports whether any set bit was
+// written — the primitive batched spike delivery uses to decide whether a
+// destination core became dirty. Word-aligned runs reduce to whole-word ORs;
+// everything else proceeds one destination word per step.
+func OrRangeAny(dst BitVec, dstOff int, src BitVec, srcOff, n int) bool {
+	var any uint64
+	if dstOff&63 == 0 && srcOff&63 == 0 {
+		dw, sw := dstOff>>6, srcOff>>6
+		for ; n >= 64; n -= 64 {
+			any |= src[sw]
+			dst[dw] |= src[sw]
+			dw++
+			sw++
+		}
+		if n > 0 {
+			w := src.rangeWord(sw<<6, n)
+			any |= w
+			dst[dw] |= w
+		}
+		return any != 0
+	}
 	for n > 0 {
 		take := 64 - (dstOff & 63)
 		if take > n {
 			take = n
 		}
-		dst[dstOff>>6] |= src.rangeWord(srcOff, take) << (uint(dstOff) & 63)
+		w := src.rangeWord(srcOff, take)
+		any |= w
+		dst[dstOff>>6] |= w << (uint(dstOff) & 63)
 		dstOff += take
 		srcOff += take
 		n -= take
 	}
+	return any != 0
 }
 
 // rangeWord reads take (1..64) bits starting at bit offset off, low bit

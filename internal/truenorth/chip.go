@@ -2,6 +2,7 @@ package truenorth
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/rng"
 )
@@ -31,6 +32,15 @@ const ChipCapacity = 4096
 // Chip is a network of cores with static spike routing and a global tick.
 // Spikes emitted during tick T are delivered to their destination axons at
 // tick T+1, matching the hardware's one-tick transport discipline.
+//
+// Tick is event-driven: only cores whose axon state changed since their last
+// evaluation (tracked by per-core dirty flags and a compact worklist) run the
+// full crossbar evaluation; cores whose idle-active neuron list is non-empty
+// take a compiled leak-only pass, and all remaining cores are skipped
+// outright. TickDense retains the original walk-every-core algorithm as the
+// reference oracle; the two are bit-identical in every observable (spike
+// trains, Stats, ExternalCounts, membrane potentials, PRNG streams) — the
+// parity contract pinned by event_test.go and docs/DETERMINISM.md.
 type Chip struct {
 	// Capacity bounds AddCore; defaults to ChipCapacity.
 	Capacity int
@@ -43,6 +53,23 @@ type Chip struct {
 	extCounts []int64
 	stats     Stats
 	seed      *rng.PCG32
+
+	// dirty[i] records that pending[i] holds at least one spike for the next
+	// tick; worklist is the deduplicated set of dirty core indices, in
+	// first-marked order.
+	dirty    []bool
+	worklist []int
+	evalBuf  []int // scratch: cores that spiked this tick, reused across ticks
+
+	// routeGen counts wiring mutations (AddCore, Route); plans caches the
+	// per-core compiled delivery programs for generation planGen. corePlans
+	// and idleCores mirror each core's event plan and the set of cores that
+	// need a leak-only pass on quiet ticks.
+	routeGen  uint64
+	planGen   uint64
+	plans     []deliveryPlan
+	corePlans []*corePlan
+	idleCores []int
 }
 
 // Stats aggregates simulation activity.
@@ -89,6 +116,8 @@ func (ch *Chip) AddCore(axons, neurons int) (int, *Core, error) {
 	}
 	ch.pending = append(ch.pending, NewBitVec(axons))
 	ch.outBuf = append(ch.outBuf, NewBitVec(neurons))
+	ch.dirty = append(ch.dirty, false)
+	ch.routeGen++
 	return len(ch.cores) - 1, c, nil
 }
 
@@ -118,6 +147,7 @@ func (ch *Chip) Route(core, neuron int, t Target) error {
 		}
 	}
 	ch.targets[core][neuron] = t
+	ch.routeGen++
 	return nil
 }
 
@@ -129,12 +159,147 @@ func (ch *Chip) SetExternalSinks(n int) {
 // Inject queues an external spike on (core, axon) for the next tick.
 func (ch *Chip) Inject(core, axon int) {
 	ch.pending[core].Set(axon)
+	ch.markDirty(core)
 }
 
-// Tick advances the chip by one time step: every core evaluates its pending
-// axon activity, spikes are routed, and the pending buffers are rebuilt for
-// the next tick.
+// InjectRuns stages an externally encoded spike vector onto a core's pending
+// axons through a compiled gather plan (CompileGather): each run ORs a
+// contiguous window of spikes into a contiguous axon range at word level,
+// replacing one Inject call per active axon. The core is marked dirty only if
+// at least one spike actually landed.
+func (ch *Chip) InjectRuns(core int, spikes BitVec, plan []BlitRun) {
+	pend := ch.pending[core]
+	any := false
+	for _, r := range plan {
+		if OrRangeAny(pend, int(r.Dst), spikes, int(r.Src), int(r.N)) {
+			any = true
+		}
+	}
+	if any {
+		ch.markDirty(core)
+	}
+}
+
+// markDirty flags a core as holding pending activity for the next tick,
+// enqueueing it on the worklist exactly once.
+func (ch *Chip) markDirty(core int) {
+	if !ch.dirty[core] {
+		ch.dirty[core] = true
+		ch.worklist = append(ch.worklist, core)
+	}
+}
+
+// ensurePlans (re)compiles the per-core delivery programs and event plans if
+// any wiring or core configuration changed since the last tick. The steady
+// state is one generation compare plus one pointer compare per core.
+func (ch *Chip) ensurePlans() {
+	rebuild := ch.plans == nil || ch.planGen != ch.routeGen
+	if rebuild {
+		ch.plans = make([]deliveryPlan, len(ch.cores))
+		for i := range ch.cores {
+			ch.plans[i] = compileDelivery(ch.targets[i])
+		}
+		ch.planGen = ch.routeGen
+	}
+	if len(ch.corePlans) != len(ch.cores) {
+		ch.corePlans = make([]*corePlan, len(ch.cores))
+		rebuild = true
+	}
+	for i, c := range ch.cores {
+		if p := c.eventPlan(); p != ch.corePlans[i] {
+			ch.corePlans[i] = p
+			rebuild = true
+		}
+	}
+	if rebuild {
+		ch.idleCores = ch.idleCores[:0]
+		for i, p := range ch.corePlans {
+			if len(p.idle) > 0 {
+				ch.idleCores = append(ch.idleCores, i)
+			}
+		}
+	}
+}
+
+// Tick advances the chip by one time step, evaluating only the cores that can
+// do observable work: dirty cores (pending axon activity) run the fused
+// crossbar pass, idle-active cores run the compiled leak-only pass, and
+// everything else is skipped. Spikes are then delivered batch-wise per
+// destination core through compiled blit runs, rebuilding the dirty set for
+// the next tick. Bit-identical to TickDense in every observable.
 func (ch *Chip) Tick() {
+	ch.stats.Ticks++
+	ch.ensurePlans()
+	// Evaluate all cores on the current pending activity first (so routing
+	// within this tick cannot leak into the same tick), then deliver.
+	ev := ch.evalBuf[:0]
+	for _, i := range ch.worklist {
+		spikes, syn := ch.cores[i].tickActive(ch.pending[i], ch.outBuf[i])
+		ch.stats.Spikes += int64(spikes)
+		ch.stats.SynEvents += syn
+		if spikes > 0 {
+			ev = append(ev, i)
+		}
+	}
+	for _, i := range ch.idleCores {
+		if ch.dirty[i] {
+			continue // already evaluated with its pending activity
+		}
+		spikes := ch.cores[i].tickIdle(ch.outBuf[i])
+		ch.stats.Spikes += int64(spikes)
+		if spikes > 0 {
+			ev = append(ev, i)
+		}
+	}
+	for _, i := range ch.worklist {
+		ch.pending[i].Zero()
+		ch.dirty[i] = false
+	}
+	ch.worklist = ch.worklist[:0]
+	for _, i := range ev {
+		ch.deliver(i)
+	}
+	ch.evalBuf = ev[:0]
+}
+
+// deliver routes core i's spikes (in outBuf[i]) through its compiled delivery
+// plan: word-level OR blits into each destination core's pending vector plus
+// per-sink counting for off-chip routes. Destinations that received at least
+// one spike are marked dirty for the next tick.
+func (ch *Chip) deliver(i int) {
+	out := ch.outBuf[i]
+	p := &ch.plans[i]
+	for di := range p.dests {
+		d := &p.dests[di]
+		pend := ch.pending[d.Core]
+		delivered := false
+		for _, r := range d.Runs {
+			if OrRangeAny(pend, int(r.Dst), out, int(r.Src), int(r.N)) {
+				delivered = true
+			}
+		}
+		if delivered {
+			ch.markDirty(int(d.Core))
+		}
+	}
+	if p.extSink != nil {
+		for wi, w := range out {
+			for ; w != 0; w &= w - 1 {
+				if s := p.extSink[wi<<6+bits.TrailingZeros64(w)]; s >= 0 {
+					ch.extCounts[s]++
+				}
+			}
+		}
+	}
+}
+
+// TickDense advances the chip by one time step with the original dense
+// algorithm: every core evaluates its pending axon activity (crossbar walk
+// plus a separate synaptic-event pass), spikes are routed one at a time, and
+// the pending buffers are rebuilt for the next tick. It is retained as the
+// pinned reference oracle for Tick — the two may be interleaved freely on one
+// chip and produce identical state and statistics.
+func (ch *Chip) TickDense() {
 	ch.stats.Ticks++
 	// Evaluate all cores on the current pending activity first (so routing
 	// within this tick cannot leak into the same tick), then deliver.
@@ -144,7 +309,9 @@ func (ch *Chip) Tick() {
 	}
 	for i := range ch.pending {
 		ch.pending[i].Zero()
+		ch.dirty[i] = false
 	}
+	ch.worklist = ch.worklist[:0]
 	for i, c := range ch.cores {
 		out := ch.outBuf[i]
 		for j := 0; j < c.Neurons; j++ {
@@ -158,6 +325,7 @@ func (ch *Chip) Tick() {
 				ch.extCounts[t.Axon]++
 			default:
 				ch.pending[t.Core].Set(t.Axon)
+				ch.markDirty(t.Core)
 			}
 		}
 	}
@@ -171,7 +339,9 @@ func (ch *Chip) ExternalCounts() []int64 { return ch.extCounts }
 func (ch *Chip) ResetActivity() {
 	for i := range ch.pending {
 		ch.pending[i].Zero()
+		ch.dirty[i] = false
 	}
+	ch.worklist = ch.worklist[:0]
 	for i := range ch.extCounts {
 		ch.extCounts[i] = 0
 	}

@@ -44,6 +44,12 @@ type Core struct {
 	// prng drives stochastic leak draws; every core owns an independent
 	// stream like the per-core hardware PRNG.
 	prng rng.Source
+
+	// gen counts configuration mutations (Connect, SetWeights, SetNeuron);
+	// plan caches the compiled event plan for generation planGen (event.go).
+	gen     uint32
+	plan    *corePlan
+	planGen uint32
 }
 
 // Reseed replaces the core's private PRNG stream.
@@ -81,6 +87,7 @@ func (c *Core) Connect(axon, neuron, t int) {
 		panic(fmt.Sprintf("truenorth: Connect(%d,%d,%d) out of range", axon, neuron, t))
 	}
 	c.masks[neuron*NumAxonTypes+t].Set(axon)
+	c.gen++
 }
 
 // Connected reports whether axon feeds neuron through entry t.
@@ -89,13 +96,13 @@ func (c *Core) Connected(axon, neuron, t int) bool {
 }
 
 // SetWeights assigns neuron j's weight table.
-func (c *Core) SetWeights(j int, w WeightTable) { c.weights[j] = w }
+func (c *Core) SetWeights(j int, w WeightTable) { c.weights[j] = w; c.gen++ }
 
 // WeightsOf returns neuron j's weight table.
 func (c *Core) WeightsOf(j int) WeightTable { return c.weights[j] }
 
 // SetNeuron assigns neuron j's LIF configuration.
-func (c *Core) SetNeuron(j int, cfg NeuronConfig) { c.cfg[j] = cfg }
+func (c *Core) SetNeuron(j int, cfg NeuronConfig) { c.cfg[j] = cfg; c.gen++ }
 
 // NeuronCfg returns neuron j's configuration.
 func (c *Core) NeuronCfg(j int) NeuronConfig { return c.cfg[j] }

@@ -1,0 +1,278 @@
+package truenorth
+
+import "math"
+
+// This file implements the event-driven fast paths of the simulator: compiled
+// per-core plans (leak realizations, axon word occupancy, idle-active neuron
+// lists, batched spike-delivery programs) and the fused core evaluation
+// routines Chip.Tick drives. The dense reference path (Core.Tick,
+// Core.SynEvents, Chip.TickDense) is retained verbatim as the pinned oracle;
+// event_test.go cross-checks the two bit-for-bit over randomized networks.
+// See docs/DETERMINISM.md ("Chip simulation: event-driven vs dense parity")
+// for the contract, and docs/ARCHITECTURE.md for where this sits in the
+// pipeline.
+
+// leakTerm is one neuron's compiled per-tick leak realization. It precomputes
+// exactly what NeuronConfig.LeakDraw evaluates per tick: the floored integer
+// part and — when the fractional part is positive — the 32-bit Bernoulli
+// threshold rng.Bernoulli compares a draw against. Draws stays true even when
+// Frac rounds to 0 because LeakDraw still consumes one PRNG word in that case;
+// replaying the exact draw count is what keeps the event path on the dense
+// path's stream (docs/DETERMINISM.md).
+type leakTerm struct {
+	// Base is math.Floor(Leak), applied every tick.
+	Base int32
+	// Frac is uint32(frac * 2^32): the draw fires the +1 when Uint32() < Frac.
+	Frac uint32
+	// Draws records whether the neuron consumes one PRNG word per tick.
+	Draws bool
+}
+
+// corePlan caches, per core, everything the event-driven tick needs that is
+// derivable from the core's static configuration. It is recompiled lazily
+// whenever a configuration mutator (Connect, SetWeights, SetNeuron) bumps the
+// core's generation counter.
+type corePlan struct {
+	// leak[j] is neuron j's compiled leak realization.
+	leak []leakTerm
+	// occ[j] is a bitmask of the 64-bit words of the axon space that any of
+	// neuron j's four synapse masks occupies (all ones when the core has more
+	// than 64 words of axons). A tick's active words are screened against it:
+	// no overlap proves all four AND+POPCOUNTs are zero, so the neuron takes
+	// the leak-only fast path.
+	occ []uint64
+	// occT[j*NumAxonTypes+t] is the same word-occupancy mask per weight-table
+	// entry, screening individual mask walks: deployed cores use two of the
+	// four entries, so half the crossbar reads vanish.
+	occT []uint64
+	// idle lists, ascending, the neurons that do observable work on a tick
+	// with no active synaptic input: consuming a PRNG draw, possibly spiking,
+	// or drifting their membrane potential. A core whose idle list is empty
+	// is skipped entirely on quiet ticks.
+	idle []int32
+}
+
+// eventPlan returns the core's compiled event plan, recompiling it if any
+// configuration mutator ran since the last compile.
+func (c *Core) eventPlan() *corePlan {
+	if c.plan != nil && c.planGen == c.gen {
+		return c.plan
+	}
+	p := &corePlan{
+		leak: make([]leakTerm, c.Neurons),
+		occ:  make([]uint64, c.Neurons),
+		occT: make([]uint64, c.Neurons*NumAxonTypes),
+	}
+	for j := 0; j < c.Neurons; j++ {
+		cfg := &c.cfg[j]
+		lt := &p.leak[j]
+		fl := math.Floor(cfg.Leak)
+		lt.Base = int32(fl)
+		if frac := cfg.Leak - fl; frac >= 1 {
+			// A Leak infinitesimally below an integer (e.g. -1e-17) makes
+			// Leak-Floor(Leak) round to exactly 1.0. rng.Bernoulli's p >= 1
+			// early return then always fires WITHOUT consuming a draw, so the
+			// compiled realization is a certain +1 with no PRNG traffic.
+			lt.Base++
+		} else if frac > 0 {
+			lt.Draws = true
+			// The exact expression rng.Bernoulli applies to its probability.
+			lt.Frac = uint32(frac * (1 << 32))
+		}
+		base := j * NumAxonTypes
+		for t := 0; t < NumAxonTypes; t++ {
+			for wi, w := range c.masks[base+t] {
+				if w == 0 {
+					continue
+				}
+				if wi >= 64 {
+					p.occT[base+t] = ^uint64(0)
+					break
+				}
+				p.occT[base+t] |= 1 << uint(wi)
+			}
+			p.occ[j] |= p.occT[base+t]
+		}
+		if c.idleActive(j, lt) {
+			p.idle = append(p.idle, int32(j))
+		}
+	}
+	c.plan, c.planGen = p, c.gen
+	return p
+}
+
+// idleActive reports whether neuron j does observable work on a tick whose
+// active axon set is empty. Only such neurons need evaluating on quiet ticks;
+// all others provably draw nothing, spike nothing, and keep their state.
+func (c *Core) idleActive(j int, lt *leakTerm) bool {
+	cfg := &c.cfg[j]
+	if lt.Draws {
+		// A fractional leak consumes one PRNG word per tick unconditionally;
+		// skipping it would desynchronize the core's stream from the dense
+		// reference.
+		return true
+	}
+	if cfg.Persistent {
+		// With Base != 0 the potential drifts every quiet tick. With Base == 0
+		// the potential is frozen, and every evaluation leaves it strictly
+		// below Threshold (either ResetTo after a spike or a sub-threshold v),
+		// so the neuron is inert unless the never-evaluated initial potential
+		// (0) or the post-spike potential (ResetTo) already reaches Threshold
+		// — or a reconfiguration lowered Threshold beneath the stored value.
+		return lt.Base != 0 || cfg.Threshold <= 0 || cfg.ResetTo >= cfg.Threshold ||
+			c.potential[j] >= cfg.Threshold
+	}
+	// McCulloch-Pitts: the quiet-tick membrane is exactly Base.
+	return lt.Base >= cfg.Threshold
+}
+
+// tickActive evaluates every neuron for one tick against a non-empty active
+// axon set, fusing the dense path's two mask walks (SynEvents, then
+// Integrate) into one: each AND+POPCOUNT feeds both the synaptic-event
+// counter and the membrane sum. Neurons whose word-occupancy mask cannot
+// overlap the active words skip the mask walk entirely and take the compiled
+// leak-only path. Spikes are written into out; returns the spike count and
+// the synaptic-event count, both bit-identical to the dense reference.
+func (c *Core) tickActive(active, out BitVec) (spikes int, syn int64) {
+	p := c.eventPlan()
+	out.Zero()
+	var aw uint64
+	if len(active) <= 64 {
+		for wi, w := range active {
+			if w != 0 {
+				aw |= 1 << uint(wi)
+			}
+		}
+	} else {
+		aw = ^uint64(0)
+	}
+	for j := 0; j < c.Neurons; j++ {
+		lt := p.leak[j]
+		v := lt.Base
+		if lt.Draws && c.prng.Uint32() < lt.Frac {
+			v++
+		}
+		if p.occ[j]&aw != 0 {
+			base := j * NumAxonTypes
+			for t := 0; t < NumAxonTypes; t++ {
+				if p.occT[base+t]&aw == 0 {
+					continue // provably zero overlap: no events, no membrane term
+				}
+				pc := AndPopcount(active, c.masks[base+t])
+				syn += int64(pc)
+				if w := c.weights[j][t]; w != 0 {
+					v += w * int32(pc)
+				}
+			}
+		}
+		cfg := &c.cfg[j]
+		if cfg.Persistent {
+			v += c.potential[j]
+			if v >= cfg.Threshold {
+				out.Set(j)
+				spikes++
+				c.potential[j] = cfg.ResetTo
+			} else {
+				c.potential[j] = v
+			}
+			continue
+		}
+		if v >= cfg.Threshold {
+			out.Set(j)
+			spikes++
+		}
+	}
+	return spikes, syn
+}
+
+// tickIdle evaluates one tick with an empty active axon set, visiting only
+// the plan's idle-active neurons (in ascending order, so PRNG draws land in
+// exactly the dense path's sequence). Spikes are written into out; the
+// synaptic-event count of a quiet tick is zero by definition.
+func (c *Core) tickIdle(out BitVec) (spikes int) {
+	p := c.eventPlan()
+	out.Zero()
+	for _, j := range p.idle {
+		lt := p.leak[j]
+		v := lt.Base
+		if lt.Draws && c.prng.Uint32() < lt.Frac {
+			v++
+		}
+		cfg := &c.cfg[j]
+		if cfg.Persistent {
+			v += c.potential[j]
+			if v >= cfg.Threshold {
+				out.Set(int(j))
+				spikes++
+				c.potential[j] = cfg.ResetTo
+			} else {
+				c.potential[j] = v
+			}
+			continue
+		}
+		if v >= cfg.Threshold {
+			out.Set(int(j))
+			spikes++
+		}
+	}
+	return spikes
+}
+
+// coreRuns is the compiled delivery program for one destination core: blit
+// runs whose Src offsets index the source core's spike vector (neuron bits)
+// and whose Dst offsets index the destination core's pending axon vector.
+type coreRuns struct {
+	Core int32
+	Runs []BlitRun
+}
+
+// deliveryPlan is a source core's compiled routing table, grouped by
+// destination so a tick's spike delivery is a handful of word-level OR blits
+// per destination core instead of one branchy Get/Set pair per spike.
+// Unrouted neurons compile to nothing.
+type deliveryPlan struct {
+	// extSink[j] is neuron j's external sink index, or -1; nil when the core
+	// has no off-chip routes. Delivery walks only the set bits of the spike
+	// vector, so quiet neurons cost nothing.
+	extSink []int32
+	dests   []coreRuns
+}
+
+// compileDelivery groups a core's neuron targets by destination core and
+// fuses neuron-contiguous, axon-contiguous route stretches into single blit
+// runs. Destination order is first-appearance order, which is deterministic;
+// delivery ORs into per-core pending vectors and increments per-sink
+// counters, both order-insensitive.
+func compileDelivery(targets []Target) deliveryPlan {
+	var p deliveryPlan
+	destIdx := make(map[int32]int)
+	for j, t := range targets {
+		switch t.Core {
+		case Unrouted:
+		case External:
+			if p.extSink == nil {
+				p.extSink = make([]int32, len(targets))
+				for k := range p.extSink {
+					p.extSink[k] = -1
+				}
+			}
+			p.extSink[j] = int32(t.Axon)
+		default:
+			di, ok := destIdx[int32(t.Core)]
+			if !ok {
+				di = len(p.dests)
+				destIdx[int32(t.Core)] = di
+				p.dests = append(p.dests, coreRuns{Core: int32(t.Core)})
+			}
+			d := &p.dests[di]
+			if n := len(d.Runs); n > 0 {
+				if last := &d.Runs[n-1]; int32(j) == last.Src+last.N && int32(t.Axon) == last.Dst+last.N {
+					last.N++
+					continue
+				}
+			}
+			d.Runs = append(d.Runs, BlitRun{Src: int32(j), Dst: int32(t.Axon), N: 1})
+		}
+	}
+	return p
+}

@@ -1,0 +1,535 @@
+package truenorth
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// buildRandomChip constructs a randomized chip whose topology, weights,
+// neuron configs and routing are all derived from seed. The same seed always
+// builds the identical chip (including per-core PRNG streams), so two builds
+// can be driven by different tick implementations and compared bit-for-bit.
+func buildRandomChip(seed uint64) *Chip {
+	src := rng.NewPCG32(seed, 101)
+	ch := NewChip(seed)
+	ch.SetExternalSinks(3)
+	nCores := 2 + rng.Intn(src, 5)
+	type dims struct{ axons, neurons int }
+	dd := make([]dims, nCores)
+	for i := range dd {
+		dd[i] = dims{axons: 1 + rng.Intn(src, 70), neurons: 1 + rng.Intn(src, 40)}
+		ch.AddCore(dd[i].axons, dd[i].neurons)
+	}
+	for i := 0; i < nCores; i++ {
+		c := ch.Core(i)
+		for j := 0; j < dd[i].neurons; j++ {
+			c.SetWeights(j, WeightTable{
+				int32(rng.Intn(src, 7) - 3),
+				int32(rng.Intn(src, 7) - 3),
+				int32(rng.Intn(src, 3) - 1),
+				0,
+			})
+			for a := 0; a < dd[i].axons; a++ {
+				if rng.Bernoulli(src, 0.3) {
+					c.Connect(a, j, rng.Intn(src, 3))
+				}
+			}
+			cfg := NeuronConfig{}
+			switch rng.Intn(src, 6) {
+			case 0: // integer leak, mostly sub-threshold
+				cfg.Leak = float64(rng.Intn(src, 5) - 3)
+			case 1: // fractional leak: consumes one draw per tick
+				cfg.Leak = float64(rng.Intn(src, 5)-3) + 0.25 + 0.5*rng.Float64(src)
+			case 2: // always-firing idle neuron (leak >= threshold)
+				cfg.Leak = float64(rng.Intn(src, 2))
+			case 3: // persistent integrate-and-fire
+				cfg.Persistent = true
+				cfg.Threshold = int32(1 + rng.Intn(src, 4))
+				cfg.ResetTo = int32(rng.Intn(src, 2))
+				cfg.Leak = float64(rng.Intn(src, 3) - 1)
+			case 4: // persistent with fractional leak
+				cfg.Persistent = true
+				cfg.Threshold = int32(rng.Intn(src, 5) - 1)
+				cfg.ResetTo = int32(rng.Intn(src, 3) - 1)
+				cfg.Leak = -0.5 + rng.Float64(src)
+			case 5: // leak infinitesimally below an integer: the fractional
+				// part rounds to exactly 1.0 and Bernoulli's p >= 1 early
+				// return consumes no draw (the eventPlan certain-+1 case)
+				cfg.Leak = float64(rng.Intn(src, 3)-1) - 1e-17
+			}
+			c.SetNeuron(j, cfg)
+			// Route: on-chip, external, or unrouted.
+			var tgt Target
+			switch rng.Intn(src, 4) {
+			case 0:
+				tgt = Target{Core: Unrouted}
+			case 1:
+				tgt = Target{Core: External, Axon: rng.Intn(src, 3)}
+			default:
+				dst := rng.Intn(src, nCores)
+				tgt = Target{Core: dst, Axon: rng.Intn(src, dd[dst].axons)}
+			}
+			if err := ch.Route(i, j, tgt); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return ch
+}
+
+// driveRandom injects a random (but seed-deterministic) spike pattern for one
+// tick: a few spikes on a few cores, with occasional fully quiet ticks so the
+// event path's skip machinery is exercised.
+func driveRandom(ch *Chip, src *rng.PCG32) {
+	if rng.Bernoulli(src, 0.25) {
+		return // quiet tick
+	}
+	n := ch.NumCores()
+	for k := 0; k < 1+rng.Intn(src, 4); k++ {
+		core := rng.Intn(src, n)
+		ch.Inject(core, rng.Intn(src, ch.Core(core).Axons))
+	}
+}
+
+// checkChipsEqual compares every observable of two chips: statistics,
+// external counts, pending axon state and membrane potentials.
+func checkChipsEqual(t *testing.T, tick int, a, b *Chip) {
+	t.Helper()
+	if a.Stats() != b.Stats() {
+		t.Fatalf("tick %d: stats %+v vs %+v", tick, a.Stats(), b.Stats())
+	}
+	for k := range a.extCounts {
+		if a.extCounts[k] != b.extCounts[k] {
+			t.Fatalf("tick %d: ext[%d] %d vs %d", tick, k, a.extCounts[k], b.extCounts[k])
+		}
+	}
+	for i := range a.cores {
+		for w := range a.pending[i] {
+			if a.pending[i][w] != b.pending[i][w] {
+				t.Fatalf("tick %d: core %d pending word %d: %x vs %x", tick, i, w, a.pending[i][w], b.pending[i][w])
+			}
+		}
+		for j := range a.cores[i].potential {
+			if a.cores[i].potential[j] != b.cores[i].potential[j] {
+				t.Fatalf("tick %d: core %d neuron %d potential %d vs %d",
+					tick, i, j, a.cores[i].potential[j], b.cores[i].potential[j])
+			}
+		}
+	}
+}
+
+// TestEventTickMatchesDenseRandomized is the event-driven-vs-dense parity
+// contract (docs/DETERMINISM.md): over randomized networks mixing integer,
+// fractional and persistent neurons with random routing, Tick and TickDense
+// produce bit-identical spike trains, Stats, ExternalCounts and membrane
+// state at every tick.
+func TestEventTickMatchesDenseRandomized(t *testing.T) {
+	const networks = 40
+	for n := 0; n < networks; n++ {
+		n := n
+		t.Run(fmt.Sprintf("net%02d", n), func(t *testing.T) {
+			seed := uint64(1000 + n*37)
+			event, dense := buildRandomChip(seed), buildRandomChip(seed)
+			srcE := rng.NewPCG32(seed, 55)
+			srcD := rng.NewPCG32(seed, 55)
+			for tick := 0; tick < 50; tick++ {
+				driveRandom(event, srcE)
+				driveRandom(dense, srcD)
+				event.Tick()
+				dense.TickDense()
+				checkChipsEqual(t, tick, event, dense)
+			}
+		})
+	}
+}
+
+// TestEventDenseInterleave pins that Tick and TickDense share one chip's
+// state machine: alternating them on a single chip matches a pure-dense twin.
+func TestEventDenseInterleave(t *testing.T) {
+	seed := uint64(4242)
+	mixed, dense := buildRandomChip(seed), buildRandomChip(seed)
+	srcM := rng.NewPCG32(seed, 56)
+	srcD := rng.NewPCG32(seed, 56)
+	for tick := 0; tick < 40; tick++ {
+		driveRandom(mixed, srcM)
+		driveRandom(dense, srcD)
+		if tick%2 == 0 {
+			mixed.Tick()
+		} else {
+			mixed.TickDense()
+		}
+		dense.TickDense()
+		checkChipsEqual(t, tick, mixed, dense)
+	}
+}
+
+// TestEventReconfigInvalidatesPlans pins plan invalidation: lowering a
+// persistent neuron's threshold below its stored potential mid-run must wake
+// the neuron on the event path exactly as on the dense path.
+func TestEventReconfigInvalidatesPlans(t *testing.T) {
+	build := func() *Chip {
+		ch := NewChip(9)
+		ch.SetExternalSinks(1)
+		i0, c0, _ := ch.AddCore(2, 1)
+		c0.SetWeights(0, WeightTable{1, 0, 0, 0})
+		c0.Connect(0, 0, 0)
+		c0.SetNeuron(0, NeuronConfig{Persistent: true, Threshold: 10, ResetTo: 0})
+		if err := ch.Route(i0, 0, Target{Core: External, Axon: 0}); err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	event, dense := build(), build()
+	step := func(inject bool) {
+		if inject {
+			event.Inject(0, 0)
+			dense.Inject(0, 0)
+		}
+		event.Tick()
+		dense.TickDense()
+	}
+	// Charge the potential to 3, then go quiet (core drops off the worklist
+	// and, with integer zero leak and threshold 10, off the idle list too).
+	for i := 0; i < 3; i++ {
+		step(true)
+	}
+	step(false)
+	// Reconfigure: threshold 2 < stored potential 3. The neuron must now fire
+	// on a quiet tick under both paths.
+	event.Core(0).SetNeuron(0, NeuronConfig{Persistent: true, Threshold: 2, ResetTo: 0})
+	dense.Core(0).SetNeuron(0, NeuronConfig{Persistent: true, Threshold: 2, ResetTo: 0})
+	step(false)
+	step(false)
+	checkChipsEqual(t, -1, event, dense)
+	if got := event.ExternalCounts()[0]; got == 0 {
+		t.Fatal("reconfigured neuron never fired on the event path")
+	}
+}
+
+// TestEventNearIntegerLeakParity pins the frac==1.0 rounding edge: a Leak
+// infinitesimally below an integer makes Leak-Floor(Leak) round to exactly
+// 1.0, where the dense path's rng.Bernoulli(p>=1) always fires WITHOUT
+// consuming a PRNG word. The compiled plan must realize the same certain +1
+// with no draw — and keep a sibling stochastic neuron's stream aligned.
+func TestEventNearIntegerLeakParity(t *testing.T) {
+	build := func() *Chip {
+		ch := NewChip(21)
+		ch.SetExternalSinks(2)
+		i0, c0, _ := ch.AddCore(2, 2)
+		// Neuron 0: Leak -1e-17 -> floor -1, frac rounds to 1.0 -> certain 0;
+		// fires every tick (0 >= 0) with no draw consumed.
+		c0.SetNeuron(0, NeuronConfig{Leak: -1e-17})
+		// Neuron 1: genuinely stochastic; its draws expose any stream skew.
+		c0.SetNeuron(1, NeuronConfig{Leak: -0.5})
+		mustRoute(t, ch, i0, 0, Target{Core: External, Axon: 0})
+		mustRoute(t, ch, i0, 1, Target{Core: External, Axon: 1})
+		return ch
+	}
+	event, dense := build(), build()
+	for tick := 0; tick < 200; tick++ {
+		event.Tick()
+		dense.TickDense()
+		checkChipsEqual(t, tick, event, dense)
+	}
+	ext := event.ExternalCounts()
+	if ext[0] != 200 {
+		t.Fatalf("certain-leak neuron fired %d of 200 ticks", ext[0])
+	}
+	if ext[1] == 0 || ext[1] == 200 {
+		t.Fatalf("stochastic sibling fired %d of 200 (stream dead or saturated)", ext[1])
+	}
+}
+
+// TestEventSkipsQuietCores pins the core-skipping machinery itself: a chip of
+// inert cores (integer sub-threshold leak) must evaluate nothing on quiet
+// ticks — while still producing dense-identical stats.
+func TestEventSkipsQuietCores(t *testing.T) {
+	ch := NewChip(5)
+	ch.SetExternalSinks(1)
+	for i := 0; i < 4; i++ {
+		_, c, _ := ch.AddCore(4, 4)
+		for j := 0; j < 4; j++ {
+			c.SetWeights(j, WeightTable{1, 0, 0, 0})
+			c.Connect(0, j, 0)
+			c.SetNeuron(j, NeuronConfig{Leak: -1})
+		}
+	}
+	ch.Tick() // compile plans on a quiet tick
+	if len(ch.idleCores) != 0 {
+		t.Fatalf("inert cores classified idle-active: %v", ch.idleCores)
+	}
+	if len(ch.worklist) != 0 {
+		t.Fatalf("quiet tick left a worklist: %v", ch.worklist)
+	}
+	s := ch.Stats()
+	if s.Ticks != 1 || s.Spikes != 0 || s.SynEvents != 0 {
+		t.Fatalf("quiet stats %+v", s)
+	}
+	// Activity wakes exactly the injected core.
+	ch.Inject(2, 0)
+	if len(ch.worklist) != 1 || ch.worklist[0] != 2 {
+		t.Fatalf("worklist %v after Inject(2,0)", ch.worklist)
+	}
+	ch.Tick()
+	if got := ch.Stats().Spikes; got != 4 {
+		t.Fatalf("woken core spiked %d, want 4", got)
+	}
+}
+
+// TestStatsAccountingTwoCoreHandComputed asserts SynEvents, Spikes and the
+// energy estimate against hand-computed values on a tiny two-core relay,
+// under both the event-driven and dense paths.
+//
+// Topology: core 0 has 2 axons and 2 neurons (neuron 0 reads axons {0,1},
+// neuron 1 reads axon {0}); both neurons fire iff any input is active
+// (weight +1, leak -1). Neuron 0 routes to core 1 axon 0; neuron 1 goes
+// off-chip. Core 1 has 1 neuron reading its single axon, routed off-chip.
+func TestStatsAccountingTwoCoreHandComputed(t *testing.T) {
+	build := func() *Chip {
+		ch := NewChip(77)
+		ch.SetExternalSinks(2)
+		i0, c0, _ := ch.AddCore(2, 2)
+		i1, c1, _ := ch.AddCore(1, 1)
+		c0.SetWeights(0, WeightTable{1, 0, 0, 0})
+		c0.SetWeights(1, WeightTable{1, 0, 0, 0})
+		c0.Connect(0, 0, 0)
+		c0.Connect(1, 0, 0)
+		c0.Connect(0, 1, 0)
+		c0.SetNeuron(0, NeuronConfig{Leak: -1})
+		c0.SetNeuron(1, NeuronConfig{Leak: -1})
+		c1.SetWeights(0, WeightTable{1, 0, 0, 0})
+		c1.Connect(0, 0, 0)
+		c1.SetNeuron(0, NeuronConfig{Leak: -1})
+		mustRoute(t, ch, i0, 0, Target{Core: i1, Axon: 0})
+		mustRoute(t, ch, i0, 1, Target{Core: External, Axon: 0})
+		mustRoute(t, ch, i1, 0, Target{Core: External, Axon: 1})
+		return ch
+	}
+	for _, tc := range []struct {
+		name string
+		tick func(*Chip)
+	}{
+		{"event", (*Chip).Tick},
+		{"dense", (*Chip).TickDense},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ch := build()
+			// Tick 1: axons {0,1} of core 0 active.
+			// SynEvents: neuron 0 sees 2 active synapses, neuron 1 sees 1 -> 3.
+			// Spikes: both core-0 neurons fire; core 1 is quiet -> 2.
+			ch.Inject(0, 0)
+			ch.Inject(0, 1)
+			tc.tick(ch)
+			if s := ch.Stats(); s.Ticks != 1 || s.SynEvents != 3 || s.Spikes != 2 {
+				t.Fatalf("after tick 1: %+v", s)
+			}
+			if ext := ch.ExternalCounts(); ext[0] != 1 || ext[1] != 0 {
+				t.Fatalf("after tick 1: ext %v", ext)
+			}
+			// Tick 2: core 1 sees its axon (from neuron 0's spike): 1 syn
+			// event, 1 spike, delivered to sink 1.
+			tc.tick(ch)
+			if s := ch.Stats(); s.Ticks != 2 || s.SynEvents != 4 || s.Spikes != 3 {
+				t.Fatalf("after tick 2: %+v", s)
+			}
+			// Tick 3: fully quiet.
+			tc.tick(ch)
+			s := ch.Stats()
+			if s.Ticks != 3 || s.SynEvents != 4 || s.Spikes != 3 {
+				t.Fatalf("after tick 3: %+v", s)
+			}
+			if ext := ch.ExternalCounts(); ext[0] != 1 || ext[1] != 1 {
+				t.Fatalf("final ext %v", ext)
+			}
+			// Energy: 4 synaptic events at 26 pJ each.
+			if got, want := s.SynapticEnergyJoules(), 4*26e-12; got != want {
+				t.Fatalf("energy %g, want %g", got, want)
+			}
+		})
+	}
+}
+
+func mustRoute(t *testing.T, ch *Chip, core, neuron int, tgt Target) {
+	t.Helper()
+	if err := ch.Route(core, neuron, tgt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileDelivery pins the run-fusion rules of the batched delivery
+// compiler: contiguous (neuron, axon) stretches fuse, gaps and destination
+// switches split, external and unrouted targets leave the run stream.
+func TestCompileDelivery(t *testing.T) {
+	targets := []Target{
+		{Core: 2, Axon: 4},        // run A start
+		{Core: 2, Axon: 5},        // extends A
+		{Core: 2, Axon: 7},        // axon gap: new run B
+		{Core: 1, Axon: 0},        // destination switch: run C
+		{Core: External, Axon: 1}, // off-chip
+		{Core: Unrouted},          // dropped
+		{Core: 2, Axon: 8},        // neuron gap vs run B (neuron 2): new run D
+	}
+	p := compileDelivery(targets)
+	for j, want := range []int32{-1, -1, -1, -1, 1, -1, -1} {
+		if p.extSink[j] != want {
+			t.Fatalf("extSink[%d] = %d, want %d", j, p.extSink[j], want)
+		}
+	}
+	if len(p.dests) != 2 {
+		t.Fatalf("dests %+v", p.dests)
+	}
+	if p.dests[0].Core != 2 || p.dests[1].Core != 1 {
+		t.Fatalf("dest order %+v", p.dests)
+	}
+	wantRuns2 := []BlitRun{{Src: 0, Dst: 4, N: 2}, {Src: 2, Dst: 7, N: 1}, {Src: 6, Dst: 8, N: 1}}
+	if len(p.dests[0].Runs) != len(wantRuns2) {
+		t.Fatalf("core-2 runs %+v", p.dests[0].Runs)
+	}
+	for i, r := range wantRuns2 {
+		if p.dests[0].Runs[i] != r {
+			t.Fatalf("core-2 run %d: %+v, want %+v", i, p.dests[0].Runs[i], r)
+		}
+	}
+	if len(p.dests[1].Runs) != 1 || p.dests[1].Runs[0] != (BlitRun{Src: 3, Dst: 0, N: 1}) {
+		t.Fatalf("core-1 runs %+v", p.dests[1].Runs)
+	}
+}
+
+// TestOrRangeAnyMatchesOrRange property-checks OrRangeAny against a
+// Set/Get-based reference across random offsets and lengths, including the
+// word-aligned OrRange fast path.
+func TestOrRangeAnyMatchesOrRange(t *testing.T) {
+	src := rng.NewPCG32(31, 7)
+	for iter := 0; iter < 300; iter++ {
+		nsrc := 1 + rng.Intn(src, 200)
+		ndst := 1 + rng.Intn(src, 200)
+		a := NewBitVec(nsrc)
+		for i := 0; i < nsrc; i++ {
+			if rng.Bernoulli(src, 0.3) {
+				a.Set(i)
+			}
+		}
+		srcOff := rng.Intn(src, nsrc)
+		n := 1 + rng.Intn(src, nsrc-srcOff)
+		if n > ndst {
+			n = ndst
+		}
+		dstOff := rng.Intn(src, ndst-n+1)
+		if iter%3 == 0 { // exercise the aligned fast path too
+			srcOff &^= 63
+			dstOff &^= 63
+			if n > nsrc-srcOff {
+				n = nsrc - srcOff
+			}
+			if n > ndst-dstOff {
+				n = ndst - dstOff
+			}
+			if n <= 0 {
+				continue
+			}
+		}
+		want := NewBitVec(ndst)
+		wantAny := false
+		for i := 0; i < n; i++ {
+			if a.Get(srcOff + i) {
+				want.Set(dstOff + i)
+				wantAny = true
+			}
+		}
+		gotOr := NewBitVec(ndst)
+		OrRange(gotOr, dstOff, a, srcOff, n)
+		gotAnyVec := NewBitVec(ndst)
+		gotAny := OrRangeAny(gotAnyVec, dstOff, a, srcOff, n)
+		for w := range want {
+			if gotOr[w] != want[w] {
+				t.Fatalf("iter %d: OrRange word %d = %x, want %x (srcOff=%d dstOff=%d n=%d)",
+					iter, w, gotOr[w], want[w], srcOff, dstOff, n)
+			}
+			if gotAnyVec[w] != want[w] {
+				t.Fatalf("iter %d: OrRangeAny word %d = %x, want %x", iter, w, gotAnyVec[w], want[w])
+			}
+		}
+		if gotAny != wantAny {
+			t.Fatalf("iter %d: OrRangeAny reported %v, want %v", iter, gotAny, wantAny)
+		}
+	}
+}
+
+// sparseChip builds a chip-scale (4096-core) relay network with inert cores:
+// core i relays to core (i+1)%n, every neuron needs an input spike to fire.
+// Only the handful of cores carrying the injected pulse do work per tick —
+// the configuration the event-driven overhaul targets.
+func sparseChip(nCores int) *Chip {
+	ch := NewChip(3)
+	ch.SetExternalSinks(1)
+	for i := 0; i < nCores; i++ {
+		_, c, err := ch.AddCore(256, 256)
+		if err != nil {
+			panic(err)
+		}
+		for j := 0; j < 256; j++ {
+			c.SetWeights(j, WeightTable{1, 0, 0, 0})
+			c.Connect(j, j, 0)
+			c.SetNeuron(j, NeuronConfig{Leak: -1})
+		}
+	}
+	for i := 0; i < nCores; i++ {
+		for j := 0; j < 256; j++ {
+			if err := ch.Route(i, j, Target{Core: (i + 1) % nCores, Axon: j}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return ch
+}
+
+// TestSparseChipParity cross-checks the sparse 4096-core benchmark fixture
+// between the two paths at reduced scale.
+func TestSparseChipParity(t *testing.T) {
+	event, dense := sparseChip(64), sparseChip(64)
+	for i := 0; i < 8; i++ {
+		event.Inject(0, i)
+		dense.Inject(0, i)
+	}
+	for tick := 0; tick < 40; tick++ {
+		event.Tick()
+		dense.TickDense()
+		checkChipsEqual(t, tick, event, dense)
+	}
+	if event.Stats().Spikes == 0 {
+		t.Fatal("relay pulse died")
+	}
+}
+
+// BenchmarkChipTickSparse measures one event-driven tick of a full 4096-core
+// chip carrying a 16-core pulse of activity — cost must scale with spike
+// activity, not chip size (BENCH_5.json).
+func BenchmarkChipTickSparse(b *testing.B) {
+	benchmarkChipTickSparse(b, (*Chip).Tick)
+}
+
+// BenchmarkChipTickSparseDense is the dense-reference baseline for
+// BenchmarkChipTickSparse: the same chip and pulse through TickDense.
+func BenchmarkChipTickSparseDense(b *testing.B) {
+	benchmarkChipTickSparse(b, (*Chip).TickDense)
+}
+
+func benchmarkChipTickSparse(b *testing.B, tick func(*Chip)) {
+	ch := sparseChip(ChipCapacity)
+	for c := 0; c < 16; c++ {
+		for j := 0; j < 8; j++ {
+			ch.Inject(c*251%ChipCapacity, j)
+		}
+	}
+	tick(ch) // warm plans; keeps the pulse alive through the relay ring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick(ch)
+	}
+	if ch.Stats().Spikes == 0 {
+		b.Fatal("pulse died")
+	}
+}

@@ -20,7 +20,7 @@ type NeuronConfig struct {
 	// to Leak = +b). Non-integer leaks are realized stochastically: the
 	// integer part is applied every tick and the fractional part is applied
 	// as a Bernoulli +1, which keeps the hardware arithmetic integer while
-	// remaining unbiased (DESIGN.md section 2, "stochastic fractional leak").
+	// remaining unbiased (docs/ARCHITECTURE.md "The simulated substrate", stochastic fractional leak).
 	Leak float64
 	// Persistent selects true integrate-and-fire behaviour: the membrane
 	// potential carries across ticks and is set to ResetTo on firing. When
