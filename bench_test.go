@@ -297,6 +297,58 @@ func BenchmarkEngineClassifyFast(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineClassifyConf measures confidence-gated adaptive ensemble
+// classification on the bench-1 biased model (16 sampled copies, 2 spf): the
+// exact full-budget vote against early-exit thresholds, reporting the mean
+// copies each item actually evaluated (BENCH_6.json). Speedup comes from the
+// gate alone — both sub-benchmarks share the ensemble, engine, and items.
+func BenchmarkEngineClassifyConf(b *testing.B) {
+	r := runner(b)
+	bench, _ := eval.BenchByID(1)
+	m, err := r.Model(bench, "biased")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := r.Data(bench)
+	const copies, spf = 16, 2
+	plan := deploy.CompileQuant(m.Net)
+	ens := deploy.NewSeededEnsemble(plan, copies, 1, 40, deploy.DefaultSampleConfig())
+	eng := engine.New(ens, engine.Config{})
+	n := 200
+	if test.Len() < n {
+		n = test.Len()
+	}
+	for _, sub := range []struct {
+		name string
+		conf float64
+	}{{"exact", 0}, {"conf99", 0.99}} {
+		b.Run(sub.name, func(b *testing.B) {
+			items := make([]engine.Item, n)
+			for i := range items {
+				is := uint64(i)
+				items[i] = engine.Item{X: test.X[i], SPF: spf, Copies: copies, Conf: sub.conf,
+					Seed: func(dst *rng.PCG32) { dst.Seed(9, is) }}
+			}
+			if _, err := eng.ClassifyItems(items); err != nil { // materialize all copies
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var used int64
+			for i := 0; i < b.N; i++ {
+				outs, err := eng.ClassifyItems(items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range outs {
+					used += int64(o.CopiesUsed)
+				}
+			}
+			b.ReportMetric(float64(used)/float64(b.N*n), "copies/item")
+		})
+	}
+}
+
 // BenchmarkEngineClassifyChip measures the cycle-accurate chip path through
 // the engine: every worker simulates a private 4-core chip.
 func BenchmarkEngineClassifyChip(b *testing.B) {

@@ -8,7 +8,8 @@
 //	tnrepro -exp fig7 -out results/  # also dump CSV/PGM artifacts
 //
 // Experiments: table1, section31, l1sparsity, fig4, fig5, fig7 (includes
-// fig8), table2a, table2b, fig9a, fig9b, table3, ablations, all.
+// fig8), table2a, table2b, fig9a, fig9b, table3, chipscale, earlyexit,
+// ablations, all.
 package main
 
 import (
@@ -44,6 +45,7 @@ func run() (code int) {
 		epochs     = flag.Int("epochs", 0, "override training epochs")
 		repeats    = flag.Int("repeats", 0, "override deployment repeats")
 		batch      = flag.Int("batch", 0, "override SGD minibatch size (default 32)")
+		conf       = flag.Float64("conf", 0, "earlyexit: sweep only {0, conf} instead of the default threshold ladder")
 		trainOnly  = flag.Bool("trainonly", false, "train the selected experiments' models, then exit before any deployment evaluation (so -cpuprofile/-memprofile capture the SGD loop alone)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -92,8 +94,8 @@ func run() (code int) {
 	opt := eval.Options{
 		Quick: *quick, Seed: *seed, Workers: *workers, OutDir: *outDir,
 		TrainN: *trainN, TestN: *testN, EpochsN: *epochs, RepeatsN: *repeats,
-		BatchN: *batch,
-		Ctx:    ctx,
+		BatchN: *batch, Conf: *conf,
+		Ctx: ctx,
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -109,7 +111,7 @@ func run() (code int) {
 	ids := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		ids = []string{"table1", "section31", "l1sparsity", "fig5", "fig4",
-			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "chipscale", "ablations"}
+			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "chipscale", "earlyexit", "ablations"}
 	}
 	start := time.Now()
 	if *trainOnly {
@@ -228,6 +230,12 @@ func runExperiment(r *eval.Runner, id string, getFig7 func() (*eval.Fig7Result, 
 			return err
 		}
 		fmt.Println(eval.RenderChipScale(c))
+	case "earlyexit":
+		ee, err := eval.EarlyExit(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderEarlyExit(ee))
 	case "ablations":
 		sig, err := eval.AblationSigma(r)
 		if err != nil {

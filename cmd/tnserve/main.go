@@ -10,7 +10,8 @@
 //	tnserve -addr :9090 -window 1ms -max-batch 128 -workers 8 models/
 //
 // Endpoints: POST /v1/classify, GET /v1/models, GET /healthz,
-// GET /debug/stats.
+// GET /debug/stats; -pprof additionally mounts net/http/pprof under
+// /debug/pprof/.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,16 +32,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		modelDir = flag.String("models", "", "directory of *.json models (tntrain envelopes or raw networks)")
-		window   = flag.Duration("window", 2*time.Millisecond, "micro-batch deadline: max wait after a batch's first item")
-		maxBatch = flag.Int("max-batch", 64, "size-triggered flush threshold")
-		queueCap = flag.Int("queue", 0, "pending-item queue bound (0 = 4*max-batch)")
-		flushers = flag.Int("flushers", 2, "concurrent batch executors")
-		workers  = flag.Int("workers", 0, "engine goroutines per batch (0 = GOMAXPROCS)")
-		maxSPF   = flag.Int("max-spf", 64, "per-request spikes-per-frame cap")
-		maxItems = flag.Int("max-items", 256, "per-request input count cap")
-		drainFor = flag.Duration("drain", 10*time.Second, "shutdown grace period")
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelDir  = flag.String("models", "", "directory of *.json models (tntrain envelopes or raw networks)")
+		window    = flag.Duration("window", 2*time.Millisecond, "micro-batch deadline: max wait after a batch's first item")
+		maxBatch  = flag.Int("max-batch", 64, "size-triggered flush threshold")
+		queueCap  = flag.Int("queue", 0, "pending-item queue bound (0 = 4*max-batch)")
+		flushers  = flag.Int("flushers", 2, "concurrent batch executors")
+		workers   = flag.Int("workers", 0, "engine goroutines per batch (0 = GOMAXPROCS)")
+		maxSPF    = flag.Int("max-spf", 64, "per-request spikes-per-frame cap")
+		maxItems  = flag.Int("max-items", 256, "per-request input count cap")
+		maxCopies = flag.Int("max-copies", 64, "per-request ensemble copy budget cap")
+		conf      = flag.Float64("conf", 0, "default early-exit confidence for ensemble requests that omit conf (0 = exact)")
+		wave      = flag.Int("wave", 0, "ensemble wave size between early-exit checks (0 = engine default)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		drainFor  = flag.Duration("drain", 10*time.Second, "shutdown grace period")
 	)
 	flag.Parse()
 
@@ -73,8 +79,26 @@ func main() {
 		Workers:      *workers,
 		MaxSPF:       *maxSPF,
 		MaxItems:     *maxItems,
+		MaxCopies:    *maxCopies,
+		Conf:         *conf,
+		Wave:         *wave,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The service mux stays unprofiled by default; -pprof wraps it so the
+		// wave scheduler (and everything else) can be profiled in production
+		// without an offline tnrepro run.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

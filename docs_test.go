@@ -144,6 +144,10 @@ func TestDocsCoreFilesExist(t *testing.T) {
 		"internal/truenorth/event.go",
 		"internal/truenorth/event_test.go",
 		"internal/deploy/chip_event_test.go",
+		"internal/engine/confidence.go",
+		"internal/engine/waves.go",
+		"internal/deploy/ensemble_test.go",
+		"internal/serve/ensemble_test.go",
 	} {
 		if !strings.Contains(string(det), src) {
 			t.Errorf("docs/DETERMINISM.md does not reference %s", src)
@@ -198,6 +202,13 @@ func TestDocsExperimentIndexMatchesRepro(t *testing.T) {
 	}
 	if len(documented) < 10 {
 		t.Fatalf("experiment table parse found only %d ids: %v", len(documented), documented)
+	}
+	// Ids whose index rows have already paid for benchmark artifacts must stay
+	// listed — a table rewrite that drops them would orphan BENCH_5/BENCH_6.
+	for _, id := range []string{"chipscale", "earlyexit"} {
+		if !documented[id] {
+			t.Errorf("experiment index is missing the %q row", id)
+		}
 	}
 	// Docs -> code: every documented id must be runnable.
 	for id := range documented {

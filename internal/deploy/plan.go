@@ -206,6 +206,27 @@ func (qp *QuantPlan) NumCores() int {
 // Classes returns the readout width.
 func (qp *QuantPlan) Classes() int { return qp.classes }
 
+// ClassWeights returns the per-class vote normalization (the number of
+// readout neurons merged into each class). The slice is shared and read-only.
+func (qp *QuantPlan) ClassWeights() []int { return qp.classN }
+
+// DecideClass converts merged class spike counts into a prediction,
+// normalizing by the neuron count of each class (classes may differ by one
+// neuron under round-robin merging). Ties resolve to the lowest class index.
+// This is the decision rule of every copy sampled from the plan
+// (SampledNet.DecideClass delegates here); the plan-level form lets ensemble
+// callers decide a summed vote without holding any particular copy.
+func (qp *QuantPlan) DecideClass(classCounts []int64) int {
+	best, bi := math.Inf(-1), 0
+	for k, n := range qp.classN {
+		score := float64(classCounts[k]) / float64(n)
+		if score > best {
+			best, bi = score, k
+		}
+	}
+	return bi
+}
+
 // InputDim returns the expected input vector length.
 func (qp *QuantPlan) InputDim() int { return qp.layers[0].inDim }
 

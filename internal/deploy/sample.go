@@ -380,12 +380,5 @@ func (sn *SampledNet) Frame(fs *FrameScratch, x []float64, spf int, src rng.Sour
 // normalizing by the neuron count of each class (classes may differ by one
 // neuron under round-robin merging). Ties resolve to the lowest class index.
 func (sn *SampledNet) DecideClass(classCounts []int64) int {
-	best, bi := math.Inf(-1), 0
-	for k, n := range sn.classN {
-		score := float64(classCounts[k]) / float64(n)
-		if score > best {
-			best, bi = score, k
-		}
-	}
-	return bi
+	return sn.plan.DecideClass(classCounts)
 }

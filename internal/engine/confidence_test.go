@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestExpLUTShape(t *testing.T) {
+	if expLUT[0] != lutOne {
+		t.Fatalf("expLUT[0] = %d, want %d (e^0)", expLUT[0], lutOne)
+	}
+	for d := 1; d < lutLen; d++ {
+		if expLUT[d] >= expLUT[d-1] {
+			t.Fatalf("expLUT not strictly decreasing at %d: %d >= %d", d, expLUT[d], expLUT[d-1])
+		}
+	}
+	if expLUT[lutLen-1] == 0 {
+		t.Fatal("expLUT tail reached 0; softmax sum could equal the leader term and report false certainty")
+	}
+}
+
+func TestGateLeaderMatchesNormalizedArgmax(t *testing.T) {
+	cases := []struct {
+		name   string
+		classN []int
+		counts []int64
+		want   int
+	}{
+		{"plain argmax", []int{1, 1, 1}, []int64{2, 7, 3}, 1},
+		{"tie to lowest index", []int{1, 1, 1}, []int64{5, 5, 0}, 0},
+		{"all zero", []int{1, 1, 1}, []int64{0, 0, 0}, 0},
+		{"weighted tie to lowest", []int{2, 1}, []int64{4, 2}, 0},
+		{"weight flips raw argmax", []int{4, 1}, []int64{6, 2}, 1},
+		{"single class", []int{3}, []int64{9}, 0},
+	}
+	for _, tc := range cases {
+		g := NewGate(tc.classN)
+		g.Reset(1, 0)
+		if got := g.Leader(tc.counts); got != tc.want {
+			t.Errorf("%s: Leader = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGateDecidedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		classN    []int
+		counts    []int64
+		spf       int
+		remaining int
+		want      bool
+	}{
+		// Remaining swing 2*spf = 4 per class; challenger max 3+4=7 < 8.
+		{"clear lead", []int{1, 1}, []int64{8, 3}, 2, 2, true},
+		// Challenger can reach 3+4=7 > 6.
+		{"catchable lead", []int{1, 1}, []int64{6, 3}, 2, 2, false},
+		// Exhausted budget: current tie resolves to leader 0, unassailable.
+		{"tie at budget end", []int{1, 1, 1}, []int64{5, 5, 1}, 2, 0, true},
+		// Exact tie with budget left: class 1 can pull ahead.
+		{"tie with budget left", []int{1, 1}, []int64{5, 5}, 1, 1, false},
+		// Challenger below the leader index wins final ties, so reaching
+		// equality is enough: 4 + 1*1*1 = 5 ties class1's 5, k=0 < leader.
+		{"lower index ties up", []int{1, 1}, []int64{4, 5}, 1, 1, false},
+		// Same shape but the challenger is above the leader: a tie is safe.
+		{"higher index ties up", []int{1, 1}, []int64{5, 4}, 1, 1, true},
+		// A single class has no challenger: always decided.
+		{"single class", []int{4}, []int64{0}, 3, 7, true},
+		// Weighted: challenger k gains remaining*spf*classN[k] raw votes —
+		// with 2 remaining it reaches (2+4)/2 = 3 < 4 (decided), with 4
+		// remaining (2+8)/2 = 5 > 4 (catchable).
+		{"weighted decided", []int{1, 2}, []int64{4, 2}, 1, 2, true},
+		{"weighted catchable", []int{1, 2}, []int64{4, 2}, 1, 4, false},
+	}
+	for _, tc := range cases {
+		g := NewGate(tc.classN)
+		g.Reset(tc.spf, 0)
+		leader := g.Leader(tc.counts)
+		if got := g.Decided(tc.counts, leader, tc.remaining); got != tc.want {
+			t.Errorf("%s: Decided = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGateSoftmaxConf(t *testing.T) {
+	g := NewGate([]int{1, 1, 1})
+	g.Reset(4, 0.5)
+
+	// Uniform votes: confidence is ~1/classes of certainty.
+	g.Observe([]int64{4, 4, 4})
+	uniform := g.SoftmaxConf([]int64{4, 4, 4}, 0)
+	want := uint64(lutOne / 3)
+	if diff := int64(uniform) - int64(want); diff < -700 || diff > 700 {
+		t.Fatalf("uniform softmax conf = %d, want ~%d", uniform, want)
+	}
+
+	// Saturating logits: a maximal leader against silent challengers clamps
+	// the margin at the LUT tail but must stay below full certainty (the
+	// tail entries are nonzero by construction).
+	g.Reset(4, 0.5)
+	g.Observe([]int64{16, 0, 0}) // 4 copies' worth in one observation
+	g.m = 4
+	sat := g.SoftmaxConf([]int64{16, 0, 0}, 0)
+	if sat <= uniform {
+		t.Fatalf("saturated conf %d not above uniform %d", sat, uniform)
+	}
+	if sat >= lutOne {
+		t.Fatalf("saturated conf %d reached certainty; threshold conf=1 would become reachable", sat)
+	}
+}
+
+func TestGateConfExtremes(t *testing.T) {
+	// Overwhelming evidence: 10 observed copies all voting class 0 at full
+	// rate, 2 copies remaining.
+	votes := []int64{2, 0, 0}
+	feed := func(conf float64) *Gate {
+		g := NewGate([]int{1, 1, 1})
+		g.Reset(2, conf)
+		for i := 0; i < 10; i++ {
+			g.Observe(votes)
+		}
+		return g
+	}
+	counts := []int64{20, 0, 0}
+	if g := feed(0); g.Confident(counts, 0, 2) {
+		t.Fatal("conf=0 must never exit statistically")
+	}
+	if g := feed(1); g.Confident(counts, 0, 2) {
+		t.Fatal("conf=1 must disable the statistical exit (Decided-only)")
+	}
+	if g := feed(0.9); !g.Confident(counts, 0, 2) {
+		t.Fatal("conf=0.9 with a unanimous 10-copy vote and 2 remaining should exit")
+	}
+	// Under two observations there is no variance estimate: never exit.
+	g := NewGate([]int{1, 1, 1})
+	g.Reset(2, 0.9)
+	g.Observe(votes)
+	if g.Confident([]int64{2, 0, 0}, 0, 11) {
+		t.Fatal("statistical exit must not fire on a single observed copy")
+	}
+}
+
+func TestGateConfidentDeterministic(t *testing.T) {
+	run := func() []bool {
+		g := NewGate([]int{1, 1, 1})
+		g.Reset(3, 0.95)
+		src := rng.NewPCG32(7, 7)
+		counts := make([]int64, 3)
+		var exits []bool
+		for c := 0; c < 24; c++ {
+			votes := make([]int64, 3)
+			votes[src.Uint32()%3] = int64(src.Uint32() % 4)
+			for k := range counts {
+				counts[k] += votes[k]
+			}
+			g.Observe(votes)
+			exits = append(exits, g.Confident(counts, g.Leader(counts), 24-c-1))
+		}
+		return exits
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Confident diverged at copy %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGateDecidedImpliesFullBudgetPrediction is the soundness property of the
+// exact bound: at any prefix where Decided reports true, the argmax over the
+// full budget must equal the current argmax, for any adversarial continuation
+// of the remaining copies — exercised here with randomized vote histories and
+// randomized continuations.
+func TestGateDecidedImpliesFullBudgetPrediction(t *testing.T) {
+	src := rng.NewPCG32(2016, 605)
+	for trial := 0; trial < 300; trial++ {
+		classes := 2 + int(src.Uint32()%4)
+		classN := make([]int, classes)
+		for k := range classN {
+			classN[k] = 1 + int(src.Uint32()%3)
+		}
+		spf := 1 + int(src.Uint32()%4)
+		copies := 4 + int(src.Uint32()%13)
+		g := NewGate(classN)
+		g.Reset(spf, 1) // Decided-only
+		counts := make([]int64, classes)
+		votes := make([]int64, classes)
+		decidedAt, decidedClass := -1, -1
+		history := make([][]int64, 0, copies)
+		for c := 0; c < copies; c++ {
+			for k := range votes {
+				// Adversarial continuations included: votes range over the
+				// full legal [0, spf*classN[k]] per class.
+				votes[k] = int64(src.Uint32()) % int64(spf*classN[k]+1)
+				counts[k] += votes[k]
+			}
+			history = append(history, append([]int64(nil), votes...))
+			g.Observe(votes)
+			if decidedAt < 0 {
+				leader := g.Leader(counts)
+				if g.Decided(counts, leader, copies-c-1) {
+					decidedAt, decidedClass = c, leader
+				}
+			}
+		}
+		if decidedAt < 0 {
+			continue
+		}
+		final := g.Leader(counts)
+		if final != decidedClass {
+			t.Fatalf("trial %d: Decided at copy %d picked class %d but full budget (%d copies) picked %d\nclassN=%v history=%v",
+				trial, decidedAt, decidedClass, copies, final, classN, history)
+		}
+	}
+}

@@ -67,10 +67,34 @@ type TickPredictor interface {
 	EncodeAndTick(s Scratch, x []float64, tick, spf int, src rng.Source, counts []int64)
 }
 
+// EnsemblePredictor is implemented by predictors whose vote is an ensemble of
+// independently sampled copies, each evaluable on its own. It is the contract
+// behind the wave-scheduled, confidence-gated path of ClassifyItems: copies
+// are evaluated one at a time so the scheduler can stop charging the budget
+// once the class vote is decided.
+type EnsemblePredictor interface {
+	Predictor
+	// Copies returns the ensemble's full vote budget.
+	Copies() int
+	// FrameCopy classifies x on copy k alone, accumulating the copy's class
+	// spike counts into counts. src drives every stochastic draw of the
+	// copy's frame; implementations must not draw from any other source, so
+	// a copy's votes depend only on (copy identity, x, spf, src).
+	FrameCopy(s Scratch, k int, x []float64, spf int, src rng.Source, counts []int64)
+	// ClassWeights returns the per-class vote normalization (readout neurons
+	// merged into each class) that Decide divides by. Read-only.
+	ClassWeights() []int
+}
+
 // Config bounds a batched run.
 type Config struct {
 	// Workers caps pool size (0 = GOMAXPROCS).
 	Workers int
+	// Wave is the ensemble wave size of the confidence-gated path: copies
+	// evaluated between early-exit checks (0 = DefaultWave). Wave size only
+	// trades gate overhead against exit granularity; it never changes any
+	// copy's random draws.
+	Wave int
 	// Ctx optionally cancels the run early (nil = never). Cancellation is
 	// checked between items; a canceled run returns ctx.Err() and its partial
 	// results must be discarded.
@@ -219,6 +243,17 @@ type Item struct {
 	// on shared mutable state), so the result is independent of how items
 	// were grouped into batches.
 	Seed func(dst *rng.PCG32)
+	// Copies is the ensemble vote budget. 0 or 1 keeps the single-evaluation
+	// Frame path bit-identical to an Item without the field; > 1 routes the
+	// item through the wave scheduler and requires an EnsemblePredictor.
+	Copies int
+	// Conf is the early-exit confidence threshold in [0,1] for ensemble
+	// items. 0 (the default) is exact: every copy in the budget votes and
+	// counts are bit-identical to summing all copies. Conf > 0 permits the
+	// wave scheduler to stop early once the leading class is unassailable
+	// (exactly, or statistically at confidence Conf); Conf has no effect
+	// when Copies <= 1.
+	Conf float64
 }
 
 // Outcome couples one item's decided class with the class spike counts that
@@ -226,23 +261,56 @@ type Item struct {
 type Outcome struct {
 	Class  int
 	Counts []int64
+	// CopiesUsed is how many ensemble copies actually voted: the full budget
+	// unless the confidence gate exited early; 1 on the single-copy path.
+	CopiesUsed int
 }
 
 // ClassifyItems classifies a heterogeneous batch: item i uses its own spf and
 // draws all randomness from its own stream. Because every stream is derived
 // from the item alone, outcomes are bit-identical to classifying each item in
-// its own single-item batch — coalescing is invisible to results.
+// its own single-item batch — coalescing is invisible to results. Items with
+// Copies > 1 take the ensemble wave path (see WaveState.ClassifyWaves) and
+// require the engine's predictor to implement EnsemblePredictor; exact and
+// approximate items may share a batch freely, since neither's stream or
+// scratch leaks into the other.
 func (e *Engine) ClassifyItems(items []Item) ([]Outcome, error) {
+	ep, _ := e.p.(EnsemblePredictor)
+	needWaves := false
+	for i := range items {
+		if items[i].Copies > 1 {
+			if ep == nil {
+				return nil, fmt.Errorf("engine: item %d requests %d ensemble copies but predictor %T cannot evaluate per-copy", i, items[i].Copies, e.p)
+			}
+			needWaves = true
+		}
+	}
 	out := make([]Outcome, len(items))
+	type state struct {
+		scratch Scratch
+		waves   *WaveState
+	}
 	err := RunSeeded(e.cfg, len(items),
 		func(i int, dst *rng.PCG32) { items[i].Seed(dst) },
-		func() Scratch { return e.scratch.Get() },
-		func(s Scratch, i int, src *rng.PCG32) {
-			counts := make([]int64, e.p.Classes())
-			e.p.Frame(s, items[i].X, items[i].SPF, src, counts)
-			out[i] = Outcome{Class: e.p.Decide(counts), Counts: counts}
+		func() *state {
+			s := &state{scratch: e.scratch.Get()}
+			if needWaves {
+				s.waves = NewWaveState(ep)
+			}
+			return s
 		},
-		func(s Scratch) { e.scratch.Put(s) })
+		func(s *state, i int, src *rng.PCG32) {
+			counts := make([]int64, e.p.Classes())
+			it := &items[i]
+			if it.Copies > 1 {
+				used := s.waves.ClassifyWaves(ep, s.scratch, it.X, it.SPF, it.Copies, it.Conf, e.cfg.Wave, src, counts)
+				out[i] = Outcome{Class: e.p.Decide(counts), Counts: counts, CopiesUsed: used}
+				return
+			}
+			e.p.Frame(s.scratch, it.X, it.SPF, src, counts)
+			out[i] = Outcome{Class: e.p.Decide(counts), Counts: counts, CopiesUsed: 1}
+		},
+		func(s *state) { e.scratch.Put(s.scratch) })
 	if err != nil {
 		return nil, err
 	}

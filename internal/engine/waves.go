@@ -1,0 +1,80 @@
+package engine
+
+import "repro/internal/rng"
+
+// DefaultWave is the ensemble wave size used when Config.Wave is zero: copies
+// evaluated between confidence checks.
+const DefaultWave = 4
+
+// WaveState is the per-worker scratch of the confidence-gated ensemble
+// scheduler: the gate (vote moments, thresholds), the per-copy stream arena,
+// and a one-copy vote buffer. One WaveState serves any number of items
+// sequentially; ClassifyItems keeps one per worker.
+type WaveState struct {
+	gate       *Gate
+	streams    []rng.PCG32
+	copyCounts []int64
+}
+
+// NewWaveState allocates wave-scheduler scratch for ep's readout shape.
+func NewWaveState(ep EnsemblePredictor) *WaveState {
+	return &WaveState{
+		gate:       NewGate(ep.ClassWeights()),
+		copyCounts: make([]int64, ep.Classes()),
+	}
+}
+
+// ClassifyWaves evaluates one item's ensemble vote copy by copy in waves,
+// accumulating class spike counts into counts (len ep.Classes(), caller must
+// zero it) and returning how many copies voted.
+//
+// Determinism: copy streams are derived from the item's stream src up front —
+// src.SplitInto(stream[c], c) for every c in the budget, in ascending order —
+// before any copy runs. Exiting early therefore never perturbs the draws of
+// the copies that did run, and the accumulated counts after m copies are
+// bit-identical for every (wave, conf) that evaluates at least m copies. With
+// conf = 0 the gate never fires, every copy in the budget votes, and counts
+// equal the exact full-ensemble sum. With conf > 0 the scheduler stops after
+// a wave once the leading class is exactly unassailable (Gate.Decided) or
+// statistically safe at confidence conf (Gate.Confident); the exit point is a
+// pure function of the votes, so the whole outcome is deterministic for fixed
+// (predictor, item stream, spf, copies, conf).
+//
+// copies is clamped to ep.Copies(); wave <= 0 means DefaultWave.
+func (ws *WaveState) ClassifyWaves(ep EnsemblePredictor, s Scratch, x []float64, spf, copies int, conf float64, wave int, src *rng.PCG32, counts []int64) int {
+	if budget := ep.Copies(); copies <= 0 || copies > budget {
+		copies = budget
+	}
+	if wave <= 0 {
+		wave = DefaultWave
+	}
+	if len(ws.streams) < copies {
+		ws.streams = make([]rng.PCG32, copies)
+	}
+	for c := 0; c < copies; c++ {
+		src.SplitInto(&ws.streams[c], uint64(c))
+	}
+	ws.gate.Reset(spf, conf)
+	used := 0
+	for used < copies {
+		end := min(used+wave, copies)
+		for ; used < end; used++ {
+			for k := range ws.copyCounts {
+				ws.copyCounts[k] = 0
+			}
+			ep.FrameCopy(s, used, x, spf, &ws.streams[used], ws.copyCounts)
+			for k, v := range ws.copyCounts {
+				counts[k] += v
+			}
+			ws.gate.Observe(ws.copyCounts)
+		}
+		if conf <= 0 || used >= copies {
+			continue
+		}
+		leader := ws.gate.Leader(counts)
+		if ws.gate.Decided(counts, leader, copies-used) || ws.gate.Confident(counts, leader, copies-used) {
+			break
+		}
+	}
+	return used
+}

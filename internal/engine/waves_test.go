@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// toyEnsemble is a deterministic-by-stream ensemble test predictor: every
+// copy's tick votes for class x[0] with probability 6/8 and a stream-drawn
+// class otherwise, so vote margins grow with copies and both exit bounds get
+// exercised. Frame derives per-copy streams exactly like the wave scheduler,
+// making it the exact full-budget reference.
+type toyEnsemble struct {
+	classes int
+	copies  int
+}
+
+func (p *toyEnsemble) Classes() int        { return p.classes }
+func (p *toyEnsemble) Copies() int         { return p.copies }
+func (p *toyEnsemble) NewScratch() Scratch { return nil }
+func (p *toyEnsemble) ClassWeights() []int {
+	w := make([]int, p.classes)
+	for k := range w {
+		w[k] = 1
+	}
+	return w
+}
+
+func (p *toyEnsemble) FrameCopy(s Scratch, k int, x []float64, spf int, src rng.Source, counts []int64) {
+	for t := 0; t < spf; t++ {
+		draw := src.Uint32() % 8
+		if draw < 6 {
+			counts[int(x[0])%p.classes]++
+		} else {
+			counts[int(draw)%p.classes]++
+		}
+	}
+}
+
+func (p *toyEnsemble) Frame(s Scratch, x []float64, spf int, src rng.Source, counts []int64) {
+	root := src.(*rng.PCG32)
+	var stream rng.PCG32
+	for k := 0; k < p.copies; k++ {
+		root.SplitInto(&stream, uint64(k))
+		p.FrameCopy(s, k, x, spf, &stream, counts)
+	}
+}
+
+func (p *toyEnsemble) Decide(counts []int64) int {
+	best, bi := int64(-1), 0
+	for k, v := range counts {
+		if v > best {
+			best, bi = v, k
+		}
+	}
+	return bi
+}
+
+func toyEnsembleItems(n, copies int, conf float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		stream := uint64(i)
+		items[i] = Item{
+			X: []float64{float64(i % 3)}, SPF: 2, Copies: copies, Conf: conf,
+			Seed: func(dst *rng.PCG32) { dst.Seed(4242, stream) },
+		}
+	}
+	return items
+}
+
+// TestClassifyWavesExactMatchesFrame pins the conf=0 contract: the wave path
+// with a full budget accumulates bit-identical counts to the predictor's own
+// exact Frame, which derives per-copy streams the same way.
+func TestClassifyWavesExactMatchesFrame(t *testing.T) {
+	p := &toyEnsemble{classes: 3, copies: 10}
+	items := toyEnsembleItems(50, p.copies, 0)
+	e := New(p, Config{Workers: 4})
+	got, err := e.ClassifyItems(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		var src rng.PCG32
+		it.Seed(&src)
+		want := make([]int64, p.classes)
+		p.Frame(nil, it.X, it.SPF, &src, want)
+		for k := range want {
+			if got[i].Counts[k] != want[k] {
+				t.Fatalf("item %d class %d: wave path %d vs exact Frame %d", i, k, got[i].Counts[k], want[k])
+			}
+		}
+		if got[i].CopiesUsed != p.copies {
+			t.Fatalf("item %d: conf=0 used %d copies, want full budget %d", i, got[i].CopiesUsed, p.copies)
+		}
+		if got[i].Class != p.Decide(want) {
+			t.Fatalf("item %d: class %d vs %d", i, got[i].Class, p.Decide(want))
+		}
+	}
+}
+
+// TestClassifyWavesDeterministic pins approximate-mode determinism for fixed
+// (predictor, seed, conf): identical outcomes — classes, counts, and exit
+// points — across repeats, worker counts, and batch compositions.
+func TestClassifyWavesDeterministic(t *testing.T) {
+	p := &toyEnsemble{classes: 3, copies: 16}
+	var ref []Outcome
+	for _, workers := range []int{1, 3, 8} {
+		e := New(p, Config{Workers: workers})
+		got, err := e.ClassifyItems(toyEnsembleItems(60, p.copies, 0.9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i].Class != ref[i].Class || got[i].CopiesUsed != ref[i].CopiesUsed {
+				t.Fatalf("workers=%d item %d: (class %d, used %d) vs (class %d, used %d)",
+					workers, i, got[i].Class, got[i].CopiesUsed, ref[i].Class, ref[i].CopiesUsed)
+			}
+			for k := range got[i].Counts {
+				if got[i].Counts[k] != ref[i].Counts[k] {
+					t.Fatalf("workers=%d item %d class %d: counts diverged", workers, i, k)
+				}
+			}
+		}
+	}
+	// Single-item batches: coalescing must stay invisible in gated mode too.
+	e := New(p, Config{})
+	items := toyEnsembleItems(60, p.copies, 0.9)
+	for i := range items {
+		got, err := e.ClassifyItems(items[i : i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].Class != ref[i].Class || got[0].CopiesUsed != ref[i].CopiesUsed {
+			t.Fatalf("solo batch item %d: (class %d, used %d) vs (class %d, used %d)",
+				i, got[0].Class, got[0].CopiesUsed, ref[i].Class, ref[i].CopiesUsed)
+		}
+	}
+}
+
+// TestClassifyWavesDecidedOnlyMatchesFullBudget is the wave-level form of the
+// Decided soundness property: at conf=1 the scheduler exits only on the exact
+// bound, so every prediction must equal the full-budget prediction.
+func TestClassifyWavesDecidedOnlyMatchesFullBudget(t *testing.T) {
+	p := &toyEnsemble{classes: 3, copies: 16}
+	e := New(p, Config{Wave: 1}) // check after every copy: maximal exit pressure
+	exact, err := e.ClassifyItems(toyEnsembleItems(80, p.copies, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := e.ClassifyItems(toyEnsembleItems(80, p.copies, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exited := 0
+	for i := range gated {
+		if gated[i].Class != exact[i].Class {
+			t.Fatalf("item %d: Decided-only exit predicted %d, full budget %d", i, gated[i].Class, exact[i].Class)
+		}
+		if gated[i].CopiesUsed < p.copies {
+			exited++
+		}
+	}
+	if exited == 0 {
+		t.Fatal("Decided bound never fired on a 6/8-biased vote; the test exercises nothing")
+	}
+}
+
+// TestClassifyWavesEarlyExitSavesWork checks the gate actually reduces mean
+// copies at a moderate threshold while keeping predictions near the exact
+// vote on an easy (strongly biased) distribution.
+func TestClassifyWavesEarlyExitSavesWork(t *testing.T) {
+	p := &toyEnsemble{classes: 3, copies: 16}
+	e := New(p, Config{})
+	exact, err := e.ClassifyItems(toyEnsembleItems(100, p.copies, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := e.ClassifyItems(toyEnsembleItems(100, p.copies, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used, agree := 0, 0
+	for i := range gated {
+		used += gated[i].CopiesUsed
+		if gated[i].Class == exact[i].Class {
+			agree++
+		}
+	}
+	mean := float64(used) / float64(len(gated))
+	if mean > float64(p.copies)*0.75 {
+		t.Errorf("conf=0.9 mean copies %.1f of %d: early exit saves almost nothing", mean, p.copies)
+	}
+	if agree < 95 {
+		t.Errorf("conf=0.9 agreement %d/100 with exact vote; gate is too aggressive", agree)
+	}
+}
+
+func TestClassifyItemsMixedExactAndEnsemble(t *testing.T) {
+	p := &toyEnsemble{classes: 3, copies: 8}
+	e := New(p, Config{Workers: 4})
+
+	exactOnly := toyEnsembleItems(30, 0, 0) // Copies=0: plain Frame path
+	ref, err := e.ClassifyItems(exactOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave the same exact items with gated ensemble items: the exact
+	// items' outcomes must stay bit-identical.
+	mixed := make([]Item, 0, 60)
+	for i := range exactOnly {
+		mixed = append(mixed, exactOnly[i])
+		g := toyEnsembleItems(30, p.copies, 0.9)[i]
+		mixed = append(mixed, g)
+	}
+	got, err := e.ClassifyItems(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exactOnly {
+		a, b := ref[i], got[2*i]
+		if a.Class != b.Class || a.CopiesUsed != b.CopiesUsed {
+			t.Fatalf("exact item %d perturbed by coalesced ensemble items", i)
+		}
+		for k := range a.Counts {
+			if a.Counts[k] != b.Counts[k] {
+				t.Fatalf("exact item %d counts perturbed at class %d", i, k)
+			}
+		}
+	}
+}
+
+func TestClassifyItemsEnsembleNeedsEnsemblePredictor(t *testing.T) {
+	e := New(&toyPredictor{classes: 3}, Config{})
+	items := []Item{{X: []float64{1}, SPF: 1, Copies: 4,
+		Seed: func(dst *rng.PCG32) { dst.Seed(1, 1) }}}
+	if _, err := e.ClassifyItems(items); err == nil {
+		t.Fatal("Copies>1 on a non-ensemble predictor must error, not silently degrade")
+	}
+}

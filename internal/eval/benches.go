@@ -105,6 +105,9 @@ type Options struct {
 	// Larger batches feed the batched training kernels bigger panels per
 	// worker shard.
 	BatchN int
+	// Conf, when in (0,1], narrows the earlyexit experiment's confidence
+	// sweep to {0, Conf} (exact reference plus one gated point).
+	Conf float64
 	// Ctx, when non-nil, cancels in-flight deployment evaluations (the
 	// engine checks it between frames).
 	Ctx context.Context

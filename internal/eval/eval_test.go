@@ -408,6 +408,61 @@ func readFile(path string) (string, error) {
 	return string(b), err
 }
 
+func TestEarlyExitSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains bench-1 and bench-4 models; skipped in -short")
+	}
+	r := NewRunner(testOptions(), nil)
+	res, err := EarlyExit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benches) != 2 {
+		t.Fatalf("%d benches, want digits + protein", len(res.Benches))
+	}
+	for _, eb := range res.Benches {
+		if eb.Copies != 16 || eb.SPF != 2 || eb.Items <= 0 {
+			t.Fatalf("%s sweep geometry %+v", eb.Bench.Name, eb)
+		}
+		if len(eb.Points) != 4 {
+			t.Fatalf("%s: %d points, want conf ladder {0, 0.5, 0.9, 0.99}", eb.Bench.Name, len(eb.Points))
+		}
+		ref := eb.Points[0]
+		if ref.Conf != 0 || ref.ExactMatch != 1 || ref.MeanCopies != 16 || ref.EarlyExitRate != 0 || ref.Speedup != 1 {
+			t.Fatalf("%s exact reference point %+v", eb.Bench.Name, ref)
+		}
+		for _, p := range eb.Points[1:] {
+			if p.MeanCopies < 1 || p.MeanCopies > 16 {
+				t.Fatalf("%s conf %g: mean copies %v", eb.Bench.Name, p.Conf, p.MeanCopies)
+			}
+			if p.ExactMatch <= 0 || p.ExactMatch > 1 {
+				t.Fatalf("%s conf %g: exact match %v", eb.Bench.Name, p.Conf, p.ExactMatch)
+			}
+		}
+		// The strictest threshold tolerates at most ~1% disagreement per item;
+		// leave wide slack for small-sample noise, but catch a broken gate.
+		if p := eb.Points[3]; p.Conf != 0.99 || p.ExactMatch < 0.9 {
+			t.Fatalf("%s conf 0.99 disagrees with the exact vote on %.1f%% of items",
+				eb.Bench.Name, 100*(1-p.ExactMatch))
+		}
+	}
+	if out := RenderEarlyExit(res); !strings.Contains(out, "Early-exit") || !strings.Contains(out, "speedup") {
+		t.Fatalf("render: %q", out)
+	}
+
+	// -conf narrows the ladder to {0, conf}; models are already cached.
+	r.Opt.Conf = 0.5
+	narrowed, err := EarlyExit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eb := range narrowed.Benches {
+		if len(eb.Points) != 2 || eb.Points[1].Conf != 0.5 {
+			t.Fatalf("narrowed sweep points %+v", eb.Points)
+		}
+	}
+}
+
 func TestChipScaleLadder(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a bench-2 model and simulates up to 1024 cores")

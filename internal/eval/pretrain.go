@@ -54,6 +54,8 @@ func Pretrain(r *Runner, id string) error {
 		return models(allBenches, "none", "biased")
 	case "chipscale":
 		return models([]int{2}, "biased")
+	case "earlyexit":
+		return models([]int{1, 4}, "biased")
 	default:
 		return fmt.Errorf("eval: pretrain: unknown experiment %q", id)
 	}

@@ -268,3 +268,20 @@ func RenderChipScale(c *ChipScaleResult) string {
 	}
 	return b.String()
 }
+
+// RenderEarlyExit formats the confidence-gated ensemble sweep.
+func RenderEarlyExit(r *EarlyExitResult) string {
+	var b strings.Builder
+	for _, eb := range r.Benches {
+		fmt.Fprintf(&b, "Early-exit ensemble sweep (%s, %s penalty, %d copies x %d spf, %d items):\n",
+			eb.Bench.Name, eb.Penalty, eb.Copies, eb.SPF, eb.Items)
+		fmt.Fprintf(&b, "  %6s %9s %11s %11s %10s %11s %8s\n",
+			"conf", "accuracy", "exact-match", "mean-copies", "exit-rate", "wall/item", "speedup")
+		for _, p := range eb.Points {
+			fmt.Fprintf(&b, "  %6.2f %9.4f %11.4f %11.2f %10.2f %11v %7.2fx\n",
+				p.Conf, p.Accuracy, p.ExactMatch, p.MeanCopies, p.EarlyExitRate,
+				p.WallPerItem.Round(time.Microsecond), p.Speedup)
+		}
+	}
+	return b.String()
+}

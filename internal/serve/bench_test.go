@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // BenchmarkServeClassify measures end-to-end request throughput through the
@@ -76,4 +79,95 @@ func BenchmarkServeClassify(b *testing.B) {
 		})
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 	})
+}
+
+// decisiveBenchNet builds a single-core network whose class-0 readout neurons
+// fire on essentially every tick while the rest stay silent: the decisive-vote
+// regime (analogous to a well-trained model on an easy item) where the
+// confidence gate exits after its first wave. The random-weight testNet is the
+// opposite regime — near-uniform votes that never exit — so the pair brackets
+// the gate's behavior.
+func decisiveBenchNet(tb testing.TB, inputs, neurons, classes int) *nn.Network {
+	tb.Helper()
+	flat := make([]float64, neurons*inputs)
+	bias := make([]float64, neurons)
+	for j := 0; j < neurons; j++ {
+		w, off := -0.8, -1.0
+		if j%classes == 0 { // MergeReadout assigns neuron j to class j%classes
+			w, off = 0.8, 1.0
+		}
+		for i := 0; i < inputs; i++ {
+			flat[j*inputs+i] = w
+		}
+		bias[j] = off
+	}
+	in := make([]int, inputs)
+	for i := range in {
+		in[i] = i
+	}
+	net := &nn.Network{
+		Layers: []*nn.CoreLayer{{InDim: inputs, Cores: []*nn.CoreSpec{{
+			In: in, W: tensor.FromSlice(neurons, inputs, flat), Bias: bias, Exports: neurons,
+		}}}},
+		Readout:    nn.NewMergeReadout(neurons, classes, 1),
+		CMax:       1,
+		SigmaFloor: 1e-3,
+	}
+	if err := net.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkServeClassifyConf measures end-to-end ensemble requests (16 copies,
+// 4 spf) exact versus confidence-gated through the full HTTP pipeline, on a
+// decisive-vote model. The coalescing window is disabled so the measured cost
+// is inference, not the idle-server batching deadline; the gap between the
+// exact and conf99 sub-benchmarks is the early-exit payoff a serving client
+// sees (BENCH_6.json).
+func BenchmarkServeClassifyConf(b *testing.B) {
+	net := decisiveBenchNet(b, 256, 256, 4)
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = float64(i%16) / 16
+	}
+	for _, sub := range []struct {
+		name string
+		conf float64
+	}{{"exact", 0}, {"conf99", 0.99}} {
+		b.Run(sub.name, func(b *testing.B) {
+			reg := NewRegistry()
+			if _, err := reg.Register("m", net, nil); err != nil {
+				b.Fatal(err)
+			}
+			srv := NewServer(reg, Config{MaxBatch: 1, Window: -1, QueueCap: 1024, FlushWorkers: 4})
+			ts := httptest.NewServer(srv.Handler())
+			defer func() { ts.Close(); srv.Close() }()
+			body, err := json.Marshal(ClassifyRequest{Model: "m", Seed: 1, SPF: 4, Input: x,
+				Copies: 16, Conf: &sub.conf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := ts.Client()
+			post := func() {
+				resp, err := client.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+			post() // warm: materialize all 16 copies before timing
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			entry, _ := reg.Get("m")
+			b.ReportMetric(entry.snapshot().MeanCopiesUsed, "copies/req")
+		})
+	}
 }

@@ -7,7 +7,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
@@ -29,6 +28,20 @@ const (
 	FrameStream = 91
 )
 
+// CopySeed derives the sample-cache seed of ensemble copy k for a request
+// with seed S. Copy 0 is S itself — an ensemble of one votes with exactly the
+// copy a plain single-copy request with the same seed serves, and the two
+// share one warm-cache slot — and copy k > 0 mixes k into S through
+// SplitMix64 so distinct copies land on unrelated cache keys. The derivation
+// is a pure function of (S, k): which copies an early exit leaves unevaluated
+// can never shift the identity of the ones that do vote.
+func CopySeed(seed uint64, k int) uint64 {
+	if k == 0 {
+		return seed
+	}
+	return rng.SplitMix64(seed + rng.SplitMix64(uint64(k)))
+}
+
 // DefaultSampleCacheCap bounds the per-model warm cache of sampled copies.
 const DefaultSampleCacheCap = 64
 
@@ -47,8 +60,11 @@ type ModelEntry struct {
 	mu       sync.Mutex
 	cache    map[uint64]*deploy.SampledNet
 	cacheCap int
-	hits     atomic.Int64
-	misses   atomic.Int64
+	// Cache counters are cache-line padded like the modelStats counters they
+	// sit beside — hit/miss accounting must not false-share with the mutex or
+	// the stats block under concurrent load.
+	hits   counter
+	misses counter
 	// scratch pools frame buffers across batches; shape depends only on the
 	// plan, so one pool serves copies sampled with any seed.
 	scratch sync.Pool
@@ -84,6 +100,17 @@ func (e *ModelEntry) Sampled(seed uint64) *deploy.SampledNet {
 	e.cache[seed] = sn
 	e.mu.Unlock()
 	return sn
+}
+
+// Ensemble returns the n-copy vote ensemble served for seed, backed by the
+// entry's warm sample cache: copy k is Sampled(CopySeed(seed, k)), drawn
+// lazily on first use. Ensemble and single-copy requests with related seeds
+// therefore share cached copies, and an early exit leaves the unevaluated
+// copies unsampled.
+func (e *ModelEntry) Ensemble(seed uint64, n int) *deploy.Ensemble {
+	return deploy.NewEnsemble(e.Plan, n, func(k int) *deploy.SampledNet {
+		return e.Sampled(CopySeed(seed, k))
+	})
 }
 
 // CacheStats returns warm-cache hits and misses so far.

@@ -49,6 +49,16 @@ type Config struct {
 	MaxSPF int
 	// MaxItems caps inputs per request (default 256).
 	MaxItems int
+	// MaxCopies caps a request's ensemble vote budget (default 64).
+	MaxCopies int
+	// Conf is the default early-exit confidence threshold applied to
+	// ensemble requests (copies > 1) that omit "conf". 0 (the default) keeps
+	// omitted-conf requests exact; requests carrying an explicit conf —
+	// including an explicit 0 — are never affected by this knob.
+	Conf float64
+	// Wave is the ensemble wave size between early-exit checks
+	// (0 = engine.DefaultWave).
+	Wave int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +74,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxItems <= 0 {
 		c.MaxItems = 256
 	}
+	if c.MaxCopies <= 0 {
+		c.MaxCopies = 64
+	}
+	if c.Conf < 0 {
+		c.Conf = 0
+	}
+	if c.Conf > 1 {
+		c.Conf = 1
+	}
 	return c
 }
 
@@ -77,6 +96,16 @@ type ClassifyRequest struct {
 	SPF    int         `json:"spf,omitempty"`
 	Input  []float64   `json:"input,omitempty"`
 	Inputs [][]float64 `json:"inputs,omitempty"`
+	// Copies is the ensemble vote budget: copy k is the network served for
+	// seed CopySeed(seed, k), and class counts sum across voting copies.
+	// 0 or 1 (the default) is the plain single-copy path.
+	Copies int `json:"copies,omitempty"`
+	// Conf enables confidence-gated early exit across the ensemble budget:
+	// in [0,1], with 0 meaning exact (all copies vote). Omitting the field
+	// inherits the server's configured default; sending an explicit value —
+	// including 0 — pins the mode regardless of server config. Ignored when
+	// Copies <= 1.
+	Conf *float64 `json:"conf,omitempty"`
 }
 
 // ClassifyResult is one input's outcome: the decided class and the merged
@@ -84,6 +113,10 @@ type ClassifyRequest struct {
 type ClassifyResult struct {
 	Class  int     `json:"class"`
 	Counts []int64 `json:"counts"`
+	// CopiesUsed is how many ensemble copies voted before the confidence
+	// gate (or the budget) stopped the item; present only for ensemble
+	// requests (copies > 1).
+	CopiesUsed int `json:"copies_used,omitempty"`
 }
 
 // ClassifyResponse is the /v1/classify reply; Results aligns with the
@@ -92,6 +125,8 @@ type ClassifyResponse struct {
 	Model   string           `json:"model"`
 	Seed    uint64           `json:"seed"`
 	SPF     int              `json:"spf"`
+	Copies  int              `json:"copies,omitempty"`
+	Conf    float64          `json:"conf,omitempty"`
 	Results []ClassifyResult `json:"results"`
 }
 
@@ -122,14 +157,19 @@ type inflight struct {
 type queued struct {
 	entry *ModelEntry
 	sn    *deploy.SampledNet
-	x     []float64
-	spf   int
-	seed  uint64 // request seed
-	item  uint64 // index within the request
-	enq   time.Time
-	req   *inflight
-	res   ClassifyResult
-	err   error
+	// ens replaces sn for ensemble items (copies > 1): the request's
+	// cache-backed vote ensemble, resolved at submission.
+	ens    *deploy.Ensemble
+	copies int
+	conf   float64
+	x      []float64
+	spf    int
+	seed   uint64 // request seed
+	item   uint64 // index within the request
+	enq    time.Time
+	req    *inflight
+	res    ClassifyResult
+	err    error
 }
 
 // Server is the dynamic-batching inference service. Create with NewServer,
@@ -194,17 +234,30 @@ func (s *Server) flushBatch(batch []*queued) {
 	for _, q := range batch {
 		groups[q.entry] = append(groups[q.entry], q)
 	}
+	type flushState struct {
+		fs *deploy.FrameScratch
+		// waves is built on a worker's first ensemble item; exact-only
+		// workers never pay for it. One entry's items share a readout shape,
+		// so one WaveState serves the whole group.
+		waves *engine.WaveState
+	}
 	for entry, items := range groups {
 		entry.stats.batches.Add(1)
 		// RunSeeded only errors on context cancellation, and serving batches
 		// run uncancelled: accepted work is always finished (graceful drain).
 		_ = engine.RunSeeded(engine.Config{Workers: s.cfg.Workers}, len(items),
 			func(i int, dst *rng.PCG32) { dst.Seed(items[i].seed, FrameStream+items[i].item) },
-			func() *deploy.FrameScratch { return entry.scratch.Get().(*deploy.FrameScratch) },
-			func(fs *deploy.FrameScratch, i int, src *rng.PCG32) {
-				s.classifyOne(entry, items[i], fs, src)
+			func() *flushState {
+				return &flushState{fs: entry.scratch.Get().(*deploy.FrameScratch)}
 			},
-			func(fs *deploy.FrameScratch) { entry.scratch.Put(fs) })
+			func(st *flushState, i int, src *rng.PCG32) {
+				q := items[i]
+				if q.copies > 1 && st.waves == nil {
+					st.waves = engine.NewWaveState(q.ens)
+				}
+				s.classifyOne(entry, q, st.fs, st.waves, src)
+			},
+			func(st *flushState) { entry.scratch.Put(st.fs) })
 		entry.stats.items.Add(int64(len(items)))
 		s.items.Add(int64(len(items)))
 	}
@@ -215,7 +268,7 @@ func (s *Server) flushBatch(batch []*queued) {
 	}
 }
 
-func (s *Server) classifyOne(entry *ModelEntry, q *queued, fs *deploy.FrameScratch, src *rng.PCG32) {
+func (s *Server) classifyOne(entry *ModelEntry, q *queued, fs *deploy.FrameScratch, waves *engine.WaveState, src *rng.PCG32) {
 	defer func() {
 		if p := recover(); p != nil {
 			// Defensive: a panicking frame must fail one request, not the
@@ -226,8 +279,19 @@ func (s *Server) classifyOne(entry *ModelEntry, q *queued, fs *deploy.FrameScrat
 			q.err = fmt.Errorf("internal error classifying item %d", q.item)
 		}
 	}()
-	pred := &deploy.FastPredictor{Net: q.sn}
 	counts := make([]int64, entry.Plan.Classes())
+	if q.copies > 1 {
+		// Ensemble vote through the wave scheduler. The item stream src is
+		// the same (seed, FrameStream+item) derivation the exact path uses;
+		// per-copy streams split off it inside ClassifyWaves, so mixed
+		// exact/approximate batches stay bit-exact item by item.
+		used := waves.ClassifyWaves(q.ens, fs, q.x, q.spf, q.copies, q.conf, s.cfg.Wave, src, counts)
+		q.res = ClassifyResult{Class: entry.Plan.DecideClass(counts), Counts: counts, CopiesUsed: used}
+		entry.stats.recordEnsemble(int64(used), used < q.copies)
+		entry.stats.recordLatency(time.Since(q.enq).Nanoseconds())
+		return
+	}
+	pred := &deploy.FastPredictor{Net: q.sn}
 	pred.Frame(fs, q.x, q.spf, src, counts)
 	q.res = ClassifyResult{Class: pred.Decide(counts), Counts: counts}
 	entry.stats.recordLatency(time.Since(q.enq).Nanoseconds())
@@ -275,6 +339,24 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("spf %d outside [1,%d]", req.SPF, s.cfg.MaxSPF))
 		return
 	}
+	copies := req.Copies
+	if copies == 0 {
+		copies = 1
+	}
+	if copies < 1 || copies > s.cfg.MaxCopies {
+		s.reject(entry, w, http.StatusBadRequest,
+			fmt.Sprintf("copies %d outside [1,%d]", req.Copies, s.cfg.MaxCopies))
+		return
+	}
+	conf := s.cfg.Conf
+	if req.Conf != nil {
+		conf = *req.Conf
+	}
+	if conf < 0 || conf > 1 {
+		s.reject(entry, w, http.StatusBadRequest,
+			fmt.Sprintf("conf %g outside [0,1]", conf))
+		return
+	}
 	dim := entry.Plan.InputDim()
 	for i, x := range inputs {
 		if len(x) == 0 || len(x) > dim {
@@ -285,14 +367,23 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	entry.stats.requests.Add(1)
-	sn := entry.Sampled(req.Seed)
+	var sn *deploy.SampledNet
+	var ens *deploy.Ensemble
+	if copies > 1 {
+		// Copies materialize lazily from the warm cache as they vote; an
+		// early exit never samples the tail of the budget.
+		ens = entry.Ensemble(req.Seed, copies)
+	} else {
+		sn = entry.Sampled(req.Seed)
+	}
 	inf := &inflight{done: make(chan struct{})}
 	inf.remaining.Store(int64(len(inputs)))
 	items := make([]*queued, len(inputs))
 	now := time.Now()
 	for i, x := range inputs {
 		items[i] = &queued{
-			entry: entry, sn: sn, x: x, spf: spf,
+			entry: entry, sn: sn, ens: ens, copies: copies, conf: conf,
+			x: x, spf: spf,
 			seed: req.Seed, item: uint64(i), enq: now, req: inf,
 		}
 	}
@@ -329,6 +420,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := ClassifyResponse{Model: req.Model, Seed: req.Seed, SPF: spf,
 		Results: make([]ClassifyResult, len(items))}
+	if copies > 1 {
+		resp.Copies, resp.Conf = copies, conf
+	}
 	for i, q := range items {
 		resp.Results[i] = q.res
 	}

@@ -2,15 +2,29 @@ package serve
 
 import "sync/atomic"
 
+// counter is an atomic.Int64 padded out to its own 64-byte cache line. The
+// per-model counters are hammered concurrently from every flush worker and
+// request handler; packed tightly (as plain atomic.Int64 fields were), each
+// Add invalidates the line holding its neighbors and the counters false-share.
+// Padding keeps each counter's contention private to itself.
+type counter struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // modelStats accumulates per-model serving counters with atomics; the
 // /debug/stats handler snapshots them into ModelStats.
 type modelStats struct {
-	requests atomic.Int64 // classify requests accepted for this model
-	items    atomic.Int64 // items classified
-	errors   atomic.Int64 // requests rejected or failed
-	batches  atomic.Int64 // engine batch groups that contained this model
-	latNS    atomic.Int64 // summed per-item queue+compute latency
-	maxLatNS atomic.Int64
+	requests counter // classify requests accepted for this model
+	items    counter // items classified
+	errors   counter // requests rejected or failed
+	batches  counter // engine batch groups that contained this model
+	latNS    counter // summed per-item queue+compute latency
+	maxLatNS counter
+	// Ensemble (copies > 1) items and their confidence-gated work-done.
+	ensembleItems counter // items that took the wave-scheduled vote path
+	copiesUsed    counter // summed copies that actually voted
+	earlyExits    counter // ensemble items that exited before their budget
 }
 
 func (s *modelStats) recordLatency(ns int64) {
@@ -20,6 +34,16 @@ func (s *modelStats) recordLatency(ns int64) {
 		if ns <= cur || s.maxLatNS.CompareAndSwap(cur, ns) {
 			return
 		}
+	}
+}
+
+// recordEnsemble accounts one wave-scheduled item: how many copies voted and
+// whether the confidence gate stopped it short of its budget.
+func (s *modelStats) recordEnsemble(used int64, early bool) {
+	s.ensembleItems.Add(1)
+	s.copiesUsed.Add(used)
+	if early {
+		s.earlyExits.Add(1)
 	}
 }
 
@@ -38,6 +62,12 @@ type ModelStats struct {
 	// Warm sampled-copy cache effectiveness.
 	SampleCacheHits   int64 `json:"sample_cache_hits"`
 	SampleCacheMisses int64 `json:"sample_cache_misses"`
+	// Confidence-gated ensemble work-done: over items served with copies > 1,
+	// the mean number of copies that actually voted and the fraction that
+	// exited before exhausting their budget.
+	EnsembleItems  int64   `json:"ensemble_items"`
+	MeanCopiesUsed float64 `json:"mean_copies_used"`
+	EarlyExitRate  float64 `json:"early_exit_rate"`
 }
 
 // Stats is the /debug/stats payload.
@@ -63,12 +93,17 @@ func (e *ModelEntry) snapshot() ModelStats {
 		MaxLatencyMS:      float64(s.maxLatNS.Load()) / 1e6,
 		SampleCacheHits:   hits,
 		SampleCacheMisses: misses,
+		EnsembleItems:     s.ensembleItems.Load(),
 	}
 	if batches > 0 {
 		out.AvgBatchSize = float64(items) / float64(batches)
 	}
 	if items > 0 {
 		out.AvgLatencyMS = float64(s.latNS.Load()) / float64(items) / 1e6
+	}
+	if out.EnsembleItems > 0 {
+		out.MeanCopiesUsed = float64(s.copiesUsed.Load()) / float64(out.EnsembleItems)
+		out.EarlyExitRate = float64(s.earlyExits.Load()) / float64(out.EnsembleItems)
 	}
 	return out
 }
