@@ -1,0 +1,173 @@
+// Command tnload is the in-repo open-loop load generator for the serving
+// tier. It drives sustained Poisson-arrival traffic at a target rate against
+// a tnserve worker or router, mixing exact and confidence-gated ensemble
+// requests, and reports p50/p99/p999 latency, achieved throughput (goodput),
+// and the shed rate the admission controller produced. Being open-loop, it
+// does not slow down when the server does — the property that exposes
+// latency collapse and load shedding near saturation, which closed-loop
+// benchmarks hide.
+//
+// Usage:
+//
+//	tnload -url http://localhost:8080 -rate 5000 -duration 30s
+//	tnload -url http://router:8080 -rate 20000 -approx 0.5 -out BENCH_7.json -label fleet4
+//	tnload -url http://router:8080 -check 16 -replicas http://r1:8081,http://r2:8082
+//
+// With -check N it additionally (or, with -rate 0, exclusively) runs N
+// parity probes: each probe's body is posted twice to the router and twice
+// to every -replicas URL directly, and all responses must be byte-identical
+// — the end-to-end enforcement of the shard-invariant determinism contract
+// (docs/DETERMINISM.md).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "base URL of the router or server under test")
+		rate     = flag.Float64("rate", 1000, "target arrival rate, requests/second (0 = skip the load run)")
+		duration = flag.Duration("duration", 10*time.Second, "measured load duration")
+		warmup   = flag.Duration("warmup", 2*time.Second, "unmeasured warmup preceding measurement")
+		models   = flag.String("model", "", "comma-separated model names (default: every model on /v1/models)")
+		spf      = flag.Int("spf", 4, "spikes-per-frame per item")
+		items    = flag.Int("items", 1, "inputs per request")
+		seeds    = flag.Int("seeds", 64, "distinct request seeds cycled (shard spread / warm-cache working set)")
+		approx   = flag.Float64("approx", 0, "fraction of requests sent as confidence-gated ensembles")
+		copies   = flag.Int("copies", 16, "ensemble copy budget of the approximate share")
+		conf     = flag.Float64("conf", 0.99, "confidence threshold of the approximate share")
+		genSeed  = flag.Uint64("gen-seed", 1, "generator seed: arrivals and request mix replay for a fixed seed")
+		maxOut   = flag.Int("max-outstanding", 4096, "cap on concurrent in-flight requests")
+
+		check    = flag.Int("check", 0, "run this many cross-replica parity probes")
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs probed directly by -check")
+
+		out   = flag.String("out", "", "write/merge the report into this BENCH-record JSON file")
+		label = flag.String("label", "tnload", "benchmark name of the report inside -out")
+		pr    = flag.Int("pr", 0, "PR number stamped on a fresh -out record")
+		title = flag.String("title", "", "title stamped on a fresh -out record")
+		note  = flag.String("note", "", "note stamped on a fresh -out record")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	catalog, err := serve.FetchModels(nil, *url)
+	if err != nil {
+		fatal(fmt.Errorf("discover models at %s: %w", *url, err))
+	}
+	targets := pickModels(catalog, *models)
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("no target models (server catalog: %v)", names(catalog)))
+	}
+
+	if *check > 0 {
+		var reps []string
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, u)
+			}
+		}
+		n, err := serve.ParityCheck(nil, *url, reps, targets, *check, *genSeed)
+		if err != nil {
+			fatal(fmt.Errorf("parity check failed after %d probes: %w", n, err))
+		}
+		fmt.Printf("parity: %d probes x %d targets x 2 posts byte-identical\n", *check, 1+len(reps))
+	}
+	if *rate <= 0 {
+		return
+	}
+
+	cfg := serve.LoadConfig{
+		URL: *url, Rate: *rate, Duration: *duration, Warmup: *warmup,
+		Models: targets, SPF: *spf, Items: *items, Seeds: *seeds,
+		ApproxFrac: *approx, Copies: *copies, Conf: *conf,
+		GenSeed: *genSeed, MaxOutstanding: *maxOut,
+	}
+	fmt.Printf("tnload: %s rate=%.0f/s duration=%s warmup=%s models=%v approx=%.2f\n",
+		*url, *rate, *duration, *warmup, names(targets), *approx)
+	report, err := serve.RunLoad(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("requests   %8d  (ok %d, shed %d, errors %d, overflow %d)\n",
+		report.Requests, report.OK, report.Shed, report.Errors, report.Overflow)
+	fmt.Printf("goodput    %8.1f req/s of %.1f offered (shed rate %.2f%%)\n",
+		report.AchievedRPS, report.TargetRate, 100*report.ShedRate)
+	fmt.Printf("latency ms p50 %.2f  p99 %.2f  p999 %.2f  max %.2f  mean %.2f\n",
+		report.P50MS, report.P99MS, report.P999MS, report.MaxMS, report.MeanMS)
+
+	if *out != "" {
+		rec, err := eval.LoadBenchRecord(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if rec.PR == 0 {
+			rec.PR = *pr
+		}
+		if rec.Title == "" {
+			rec.Title = *title
+		}
+		if rec.Note == "" {
+			rec.Note = *note
+		}
+		if rec.Machine == "" {
+			rec.Machine = eval.Machine()
+		}
+		if rec.Command == "" {
+			rec.Command = strings.Join(os.Args, " ")
+		}
+		rec.Set(*label, report)
+		if err := rec.Write(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %q into %s\n", *label, *out)
+	}
+}
+
+// pickModels filters the discovered catalog down to the -model selection
+// (all of it when the flag is empty).
+func pickModels(catalog []serve.LoadModel, sel string) []serve.LoadModel {
+	if strings.TrimSpace(sel) == "" {
+		return catalog
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(sel, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var out []serve.LoadModel
+	for _, m := range catalog {
+		if want[m.Name] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func names(ms []serve.LoadModel) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnload:", err)
+	os.Exit(1)
+}

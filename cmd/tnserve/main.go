@@ -3,13 +3,25 @@
 // while responses stay bit-identical to the offline fast path for a fixed
 // per-request seed.
 //
+// It runs in one of two roles:
+//
+//   - worker (default): loads models, batches, classifies. Admission control
+//     sheds load with 429 + Retry-After once a model's queue passes
+//     -shed-depth, before the bounded queue starts blocking.
+//   - router (-route): stateless front-end that consistent-hashes each
+//     request's (model, seed) onto the -backends replicas, health-checks
+//     them via /healthz, and fails connection errors over along the ring —
+//     safe because any replica answers (model, seed, input) bit-identically.
+//
 // Usage:
 //
 //	tnserve -models models/                    # serve every *.json in a dir
 //	tnserve bench1_biased.json other.json      # or individual model files
+//	tnserve -demo -addr :8081                  # deterministic built-in model
 //	tnserve -addr :9090 -window 1ms -max-batch 128 -workers 8 models/
+//	tnserve -route -backends http://h1:8081,http://h2:8081 -addr :8080
 //
-// Endpoints: POST /v1/classify, GET /v1/models, GET /healthz,
+// Endpoints (both roles): POST /v1/classify, GET /v1/models, GET /healthz,
 // GET /debug/stats; -pprof additionally mounts net/http/pprof under
 // /debug/pprof/.
 package main
@@ -24,6 +36,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,22 +45,53 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		modelDir  = flag.String("models", "", "directory of *.json models (tntrain envelopes or raw networks)")
-		window    = flag.Duration("window", 2*time.Millisecond, "micro-batch deadline: max wait after a batch's first item")
-		maxBatch  = flag.Int("max-batch", 64, "size-triggered flush threshold")
-		queueCap  = flag.Int("queue", 0, "pending-item queue bound (0 = 4*max-batch)")
-		flushers  = flag.Int("flushers", 2, "concurrent batch executors")
-		workers   = flag.Int("workers", 0, "engine goroutines per batch (0 = GOMAXPROCS)")
-		maxSPF    = flag.Int("max-spf", 64, "per-request spikes-per-frame cap")
-		maxItems  = flag.Int("max-items", 256, "per-request input count cap")
-		maxCopies = flag.Int("max-copies", 64, "per-request ensemble copy budget cap")
-		conf      = flag.Float64("conf", 0, "default early-exit confidence for ensemble requests that omit conf (0 = exact)")
-		wave      = flag.Int("wave", 0, "ensemble wave size between early-exit checks (0 = engine default)")
-		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
-		drainFor  = flag.Duration("drain", 10*time.Second, "shutdown grace period")
+		addr     = flag.String("addr", ":8080", "listen address")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		drainFor = flag.Duration("drain", 10*time.Second, "shutdown grace period")
+
+		// Worker role.
+		modelDir   = flag.String("models", "", "directory of *.json models (tntrain envelopes or raw networks)")
+		demo       = flag.Bool("demo", false, "register the deterministic built-in demo model")
+		window     = flag.Duration("window", 2*time.Millisecond, "micro-batch deadline: max wait after a batch's first item")
+		maxBatch   = flag.Int("max-batch", 64, "size-triggered flush threshold")
+		queueCap   = flag.Int("queue", 0, "pending-item queue bound (0 = 4*max-batch)")
+		flushers   = flag.Int("flushers", 2, "concurrent batch executors")
+		workers    = flag.Int("workers", 0, "engine goroutines per batch (0 = GOMAXPROCS)")
+		maxSPF     = flag.Int("max-spf", 64, "per-request spikes-per-frame cap")
+		maxItems   = flag.Int("max-items", 256, "per-request input count cap")
+		maxCopies  = flag.Int("max-copies", 64, "per-request ensemble copy budget cap")
+		conf       = flag.Float64("conf", 0, "default early-exit confidence for ensemble requests that omit conf (0 = exact)")
+		wave       = flag.Int("wave", 0, "ensemble wave size between early-exit checks (0 = engine default)")
+		shedDepth  = flag.Int("shed-depth", 0, "per-model admission watermark: shed 429 once this many items are queued (0 = no shedding, block instead)")
+		retryAfter = flag.Int("retry-after", 1, "Retry-After seconds on shed responses")
+
+		// Router role.
+		route          = flag.Bool("route", false, "run as a stateless router over -backends instead of serving models")
+		backends       = flag.String("backends", "", "comma-separated replica base URLs (router role)")
+		vnodes         = flag.Int("vnodes", serve.DefaultVnodes, "virtual nodes per replica on the hash ring")
+		healthInterval = flag.Duration("health-interval", time.Second, "period between replica /healthz sweeps")
+		healthTimeout  = flag.Duration("health-timeout", 500*time.Millisecond, "timeout of one /healthz probe")
+		failAfter      = flag.Int("fail-after", 2, "consecutive probe failures that demote a replica")
+		attempts       = flag.Int("attempts", 2, "distinct replicas a request may try on connection failure")
+		proxyTimeout   = flag.Duration("proxy-timeout", 30*time.Second, "timeout of one proxied classify request")
 	)
 	flag.Parse()
+
+	if *route {
+		runRouter(routerOpts{
+			addr: *addr, pprofOn: *pprofOn,
+			backends: *backends,
+			cfg: serve.RouterConfig{
+				Vnodes:         *vnodes,
+				HealthInterval: *healthInterval,
+				HealthTimeout:  *healthTimeout,
+				FailAfter:      *failAfter,
+				Attempts:       *attempts,
+				Timeout:        *proxyTimeout,
+			},
+		})
+		return
+	}
 
 	reg := serve.NewRegistry()
 	loaded := 0
@@ -67,8 +111,17 @@ func main() {
 			entry.Name, entry.Plan.Classes(), entry.Plan.InputDim(), entry.Plan.NumCores())
 		loaded++
 	}
+	if *demo {
+		entry, err := reg.RegisterDemo()
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("registered built-in demo model %q: %d classes, %d-dim input",
+			entry.Name, entry.Plan.Classes(), entry.Plan.InputDim())
+		loaded++
+	}
 	if loaded == 0 {
-		fatal(errors.New("no models: pass -models DIR and/or model files as arguments"))
+		fatal(errors.New("no models: pass -models DIR, model files as arguments, or -demo"))
 	}
 
 	srv := serve.NewServer(reg, serve.Config{
@@ -82,40 +135,72 @@ func main() {
 		MaxCopies:    *maxCopies,
 		Conf:         *conf,
 		Wave:         *wave,
+		ShedDepth:    *shedDepth,
+		RetryAfterS:  *retryAfter,
 	})
-	handler := srv.Handler()
-	if *pprofOn {
-		// The service mux stays unprofiled by default; -pprof wraps it so the
-		// wave scheduler (and everything else) can be profiled in production
-		// without an offline tnrepro run.
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
-		log.Printf("pprof enabled at /debug/pprof/")
-	}
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	log.Printf("tnserve: %d model(s) %v on %s (window %s, max-batch %d, shed-depth %d)",
+		loaded, reg.Names(), *addr, *window, *maxBatch, *shedDepth)
+	serveHTTP(*addr, withPprof(srv.Handler(), *pprofOn), *drainFor, srv.Close)
+}
 
+type routerOpts struct {
+	addr     string
+	pprofOn  bool
+	backends string
+	cfg      serve.RouterConfig
+}
+
+func runRouter(o routerOpts) {
+	var urls []string
+	for _, b := range strings.Split(o.backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	rt, err := serve.NewRouter(urls, o.cfg)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("tnserve router: %d replica(s) %v on %s (vnodes %d, health every %s)",
+		len(urls), urls, o.addr, o.cfg.Vnodes, o.cfg.HealthInterval)
+	serveHTTP(o.addr, withPprof(rt.Handler(), o.pprofOn), 10*time.Second, rt.Close)
+}
+
+// withPprof optionally wraps handler with the net/http/pprof endpoints, so
+// both roles can be profiled in production without an offline tnrepro run.
+func withPprof(handler http.Handler, on bool) http.Handler {
+	if !on {
+		return handler
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof enabled at /debug/pprof/")
+	return mux
+}
+
+// serveHTTP runs the listener with signal-driven graceful shutdown: the HTTP
+// server drains its handlers, then closeFn drains the role's own pipeline
+// (batcher or health checker).
+func serveHTTP(addr string, handler http.Handler, drainFor time.Duration, closeFn func()) {
+	hs := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Printf("shutting down: draining for up to %s", *drainFor)
-		shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		log.Printf("shutting down: draining for up to %s", drainFor)
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainFor)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			log.Printf("http shutdown: %v", err)
 		}
 	}()
-
-	log.Printf("tnserve: %d model(s) %v on %s (window %s, max-batch %d)",
-		loaded, reg.Names(), *addr, *window, *maxBatch)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -123,9 +208,9 @@ func main() {
 	// handlers may still be writing responses, so wait for Shutdown (which
 	// blocks until they return) before tearing anything down.
 	<-shutdownDone
-	// Handlers done: drain the batching pipeline so every accepted request
+	// Handlers done: drain the role's pipeline so every accepted request
 	// finished before exit.
-	srv.Close()
+	closeFn()
 	log.Printf("drained cleanly")
 }
 

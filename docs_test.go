@@ -148,6 +148,10 @@ func TestDocsCoreFilesExist(t *testing.T) {
 		"internal/engine/waves.go",
 		"internal/deploy/ensemble_test.go",
 		"internal/serve/ensemble_test.go",
+		"internal/serve/ring.go",
+		"internal/serve/router.go",
+		"internal/serve/loadgen.go",
+		"internal/serve/router_test.go",
 	} {
 		if !strings.Contains(string(det), src) {
 			t.Errorf("docs/DETERMINISM.md does not reference %s", src)

@@ -16,6 +16,22 @@ func testOptions() Options {
 	}
 }
 
+// skipIfHeavy guards the training-heavy experiment tests: skipped in -short
+// mode and under the race detector, whose instrumentation slows the full
+// experiment stack past the 10-minute default test timeout on small
+// single-socket machines. Race coverage of the training worker pool comes
+// from TestRunnerCachesModelsAndData and TestWriteSurfaceCSV, which still
+// train small models under -race.
+func skipIfHeavy(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("trains models; skipped under -race (pool covered by TestRunnerCachesModelsAndData)")
+	}
+}
+
 func TestBenchesMatchTable3Geometry(t *testing.T) {
 	bs := Benches()
 	if len(bs) != 5 {
@@ -175,9 +191,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestSection31SmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains models; skipped in -short")
-	}
+	skipIfHeavy(t)
 	r := NewRunner(testOptions(), nil)
 	s, err := Section31(r)
 	if err != nil {
@@ -200,9 +214,7 @@ func TestSection31SmallScale(t *testing.T) {
 }
 
 func TestFig5SmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains models; skipped in -short")
-	}
+	skipIfHeavy(t)
 	r := NewRunner(testOptions(), nil)
 	f, err := Fig5(r)
 	if err != nil {
@@ -234,9 +246,7 @@ func TestFig5SmallScale(t *testing.T) {
 }
 
 func TestFig4SmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains models; skipped in -short")
-	}
+	skipIfHeavy(t)
 	opt := testOptions()
 	opt.EpochsN = 8 // enough for the biased penalty (warmup 2) to polarize
 	opt.OutDir = t.TempDir()
@@ -262,9 +272,7 @@ func TestFig4SmallScale(t *testing.T) {
 }
 
 func TestFig7Table2Fig9SmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains models; skipped in -short")
-	}
+	skipIfHeavy(t)
 	r := NewRunner(testOptions(), nil)
 	f, err := Fig7(r)
 	if err != nil {
@@ -297,9 +305,7 @@ func TestFig7Table2Fig9SmallScale(t *testing.T) {
 }
 
 func TestTable2bSmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains models; skipped in -short")
-	}
+	skipIfHeavy(t)
 	r := NewRunner(testOptions(), nil)
 	t2b, err := Table2b(r)
 	if err != nil {
@@ -315,9 +321,7 @@ func TestTable2bSmallScale(t *testing.T) {
 }
 
 func TestAblationsSmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains models; skipped in -short")
-	}
+	skipIfHeavy(t)
 	r := NewRunner(testOptions(), nil)
 	sig, err := AblationSigma(r)
 	if err != nil {
@@ -409,9 +413,7 @@ func readFile(path string) (string, error) {
 }
 
 func TestEarlyExitSmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains bench-1 and bench-4 models; skipped in -short")
-	}
+	skipIfHeavy(t)
 	r := NewRunner(testOptions(), nil)
 	res, err := EarlyExit(r)
 	if err != nil {
@@ -464,9 +466,7 @@ func TestEarlyExitSmallScale(t *testing.T) {
 }
 
 func TestChipScaleLadder(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains a bench-2 model and simulates up to 1024 cores")
-	}
+	skipIfHeavy(t)
 	r := NewRunner(testOptions(), nil)
 	res, err := ChipScale(r)
 	if err != nil {

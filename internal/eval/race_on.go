@@ -1,0 +1,8 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Tests use it to shed training-heavy work that race instrumentation slows
+// past CI timeouts.
+const raceEnabled = true

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// BenchRecord is the schema of the committed BENCH_*.json measurement
+// records (and of the artifacts CI's smoke jobs upload): one PR's headline
+// numbers, the exact commands that produced them, and a prose note giving
+// the context a future reader needs to trust or reproduce them.
+type BenchRecord struct {
+	PR      int    `json:"pr"`
+	Title   string `json:"title,omitempty"`
+	Machine string `json:"machine,omitempty"`
+	Command string `json:"command,omitempty"`
+	Note    string `json:"note,omitempty"`
+	// Benchmarks maps a benchmark name to its result payload — typically a
+	// struct with before/after numbers or a serve.LoadReport.
+	Benchmarks map[string]any `json:"benchmarks"`
+}
+
+// LoadBenchRecord reads a record from path; a missing file yields an empty
+// record, so producers can accumulate benchmarks across several runs into
+// one file.
+func LoadBenchRecord(path string) (*BenchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &BenchRecord{Benchmarks: map[string]any{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var r BenchRecord
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("eval: parse bench record %s: %w", path, err)
+	}
+	if r.Benchmarks == nil {
+		r.Benchmarks = map[string]any{}
+	}
+	return &r, nil
+}
+
+// Set stores one benchmark result under name, replacing any previous value.
+func (r *BenchRecord) Set(name string, v any) {
+	if r.Benchmarks == nil {
+		r.Benchmarks = map[string]any{}
+	}
+	r.Benchmarks[name] = v
+}
+
+// Write stores the record as indented JSON at path.
+func (r *BenchRecord) Write(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Machine describes the host the way the committed records do: CPU model
+// when discoverable, then GOOS/GOARCH and the logical CPU count.
+func Machine() string {
+	model := cpuModel()
+	if model == "" {
+		model = "unknown CPU"
+	}
+	return fmt.Sprintf("%s, %s/%s, %d cpu", model, runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}
+
+// cpuModel best-effort reads the CPU model name; empty when the platform
+// does not expose /proc/cpuinfo.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchRecordRoundTrip: records accumulate across runs — a missing file
+// starts empty, Set/Write/Load round-trip, and existing benchmarks survive a
+// second producer writing a different key into the same file.
+func TestBenchRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	rec, err := LoadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PR != 0 || len(rec.Benchmarks) != 0 {
+		t.Fatalf("missing file should load empty, got %+v", rec)
+	}
+	rec.PR = 7
+	rec.Title = "serving tier"
+	rec.Set("fleet1", map[string]any{"achieved_rps": 123.4})
+	if err := rec.Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := LoadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.PR != 7 || again.Title != "serving tier" {
+		t.Fatalf("header lost: %+v", again)
+	}
+	again.Set("fleet4", map[string]any{"achieved_rps": 456.7})
+	if err := again.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	final, err := LoadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Benchmarks) != 2 {
+		t.Fatalf("accumulation lost a benchmark: %+v", final.Benchmarks)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) || raw[len(raw)-1] != '\n' {
+		t.Fatal("record file must be valid JSON with a trailing newline")
+	}
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchRecord(path); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+}
+
+// TestMachineString: the machine descriptor carries the GOOS/GOARCH and CPU
+// count the committed BENCH records use for context.
+func TestMachineString(t *testing.T) {
+	m := Machine()
+	if !strings.Contains(m, "cpu") || !strings.Contains(m, "/") {
+		t.Fatalf("machine descriptor %q", m)
+	}
+}

@@ -236,6 +236,71 @@ func TestBatcherDrainUnderCancellation(t *testing.T) {
 	}
 }
 
+// TestBatcherCloseDuringConcurrentSubmit: Close racing submitters blocked on
+// a FULL queue — the hardest interleaving: every accepted item flushes
+// exactly once, every blocked submitter returns promptly (nil or ErrClosed,
+// nothing else, no hang). Run with -race.
+func TestBatcherCloseDuringConcurrentSubmit(t *testing.T) {
+	var flushedMu sync.Mutex
+	flushed := make(map[int]int)
+	gate := make(chan struct{})
+	b := NewBatcher(BatcherConfig{MaxBatch: 2, QueueCap: 2, FlushWorkers: 1},
+		func(batch []int) {
+			<-gate // stall the pipeline so the queue fills and submitters block
+			flushedMu.Lock()
+			for _, v := range batch {
+				flushed[v]++
+			}
+			flushedMu.Unlock()
+		})
+
+	var accepted sync.Map
+	var wg sync.WaitGroup
+	const submitters = 16
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			err := b.Submit(context.Background(), id)
+			switch err {
+			case nil:
+				accepted.Store(id, true)
+			case ErrClosed:
+			default:
+				t.Errorf("submit %d: %v", id, err)
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond) // queue full, most submitters blocked
+	closeDone := make(chan struct{})
+	go func() { b.Close(); close(closeDone) }()
+	time.Sleep(time.Millisecond)
+	close(gate) // release the stalled flush; drain can proceed
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with submitters blocked on a full queue")
+	}
+	wg.Wait()
+
+	if err := b.Submit(context.Background(), 999); err != ErrClosed {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	flushedMu.Lock()
+	defer flushedMu.Unlock()
+	accepted.Range(func(k, _ any) bool {
+		if flushed[k.(int)] != 1 {
+			t.Errorf("accepted item %d flushed %d times", k.(int), flushed[k.(int)])
+		}
+		return true
+	})
+	for id, c := range flushed {
+		if _, ok := accepted.Load(id); !ok || c != 1 {
+			t.Errorf("item %d: flushed %d times, accepted=%v", id, c, ok)
+		}
+	}
+}
+
 // TestBatcherZeroWindowGreedy: window 0 coalesces only what is already
 // queued — items never wait on a timer.
 func TestBatcherZeroWindowGreedy(t *testing.T) {

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// DemoNetwork builds the deterministic built-in demo model: a single-core
+// random-weight network whose weights are a pure function of seed. Every
+// process that registers DemoNetwork(seed, ...) with identical geometry
+// compiles an identical QuantPlan, so a fleet of `tnserve -demo` replicas is
+// homogeneous by construction — the smoke path for router parity checks and
+// load tests that must not depend on a trained model file being present.
+func DemoNetwork(seed uint64, inputs, neurons, classes int) (*nn.Network, error) {
+	if inputs < 1 || neurons < classes || classes < 2 {
+		return nil, fmt.Errorf("serve: demo geometry %d/%d/%d invalid", inputs, neurons, classes)
+	}
+	src := rng.NewPCG32(seed, 1)
+	flat := make([]float64, neurons*inputs)
+	for i := range flat {
+		flat[i] = rng.Float64(src)*1.6 - 0.8
+	}
+	bias := make([]float64, neurons)
+	for j := range bias {
+		bias[j] = rng.Float64(src)*2 - 1
+	}
+	in := make([]int, inputs)
+	for i := range in {
+		in[i] = i
+	}
+	net := &nn.Network{
+		Layers: []*nn.CoreLayer{{InDim: inputs, Cores: []*nn.CoreSpec{{
+			In: in, W: tensor.FromSlice(neurons, inputs, flat), Bias: bias, Exports: neurons,
+		}}}},
+		Readout:    nn.NewMergeReadout(neurons, classes, 1),
+		CMax:       1,
+		SigmaFloor: 1e-3,
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: demo network: %w", err)
+	}
+	return net, nil
+}
+
+// RegisterDemo registers the standard demo model under name "demo":
+// 64-dimensional input, 128 neurons, 10 classes, weight seed 2016. The
+// geometry is part of the fleet contract — change it and every replica must
+// change together.
+func (r *Registry) RegisterDemo() (*ModelEntry, error) {
+	net, err := DemoNetwork(2016, 64, 128, 10)
+	if err != nil {
+		return nil, err
+	}
+	return r.Register("demo", net, nil)
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// ShardKey maps a request's (model, seed) pair onto the hash ring's key
+// space. The pair is the natural shard unit of this serving stack: every
+// random draw a request consumes derives from (model, seed), so all requests
+// sharing the pair are served from one warm sampled-copy cache slot — routing
+// them to one replica keeps that slot hot exactly once across the fleet
+// instead of once per replica. The model name hashes FNV-1a style and the
+// seed mixes in through SplitMix64, so adjacent seeds scatter uniformly.
+func ShardKey(model string, seed uint64) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(model); i++ {
+		h ^= uint64(model[i])
+		h *= fnvPrime
+	}
+	return rng.SplitMix64(h ^ rng.SplitMix64(seed))
+}
+
+// ringSlot is one virtual node: a point on the ring owned by a replica.
+type ringSlot struct {
+	hash    uint64
+	replica int // index into the router's replica table
+}
+
+// ring is an immutable consistent-hash ring over the currently routable
+// replicas. Membership changes build a fresh ring and swap it in atomically
+// (atomic.Pointer in the router); lookups never lock.
+type ring struct {
+	slots []ringSlot
+}
+
+// DefaultVnodes is the number of virtual nodes per replica. 128 keeps the
+// max/mean load imbalance across a handful of replicas within a few percent
+// while the whole ring still fits in a couple of cache lines per replica.
+const DefaultVnodes = 128
+
+// buildRing places vnodes virtual nodes for each listed replica index, keyed
+// by the replica's stable identity string (its URL). Vnode positions depend
+// only on (identity, vnode index), so adding or removing one replica moves
+// only the keys that replica owned — the rest of the fleet keeps its warm
+// cache slots.
+func buildRing(identities []string, members []int, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &ring{slots: make([]ringSlot, 0, len(members)*vnodes)}
+	for _, idx := range members {
+		base := ShardKey(identities[idx], 0)
+		for v := 0; v < vnodes; v++ {
+			r.slots = append(r.slots, ringSlot{
+				hash:    rng.SplitMix64(base + uint64(v)),
+				replica: idx,
+			})
+		}
+	}
+	sort.Slice(r.slots, func(i, j int) bool {
+		a, b := r.slots[i], r.slots[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Stable total order even on (astronomically unlikely) hash
+		// collisions, so every router instance agrees on ownership.
+		return a.replica < b.replica
+	})
+	return r
+}
+
+// lookup returns the replica index owning key, plus ok=false on an empty
+// ring. Ownership is the standard consistent-hash rule: the first slot
+// clockwise from the key.
+func (r *ring) lookup(key uint64) (int, bool) {
+	if len(r.slots) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.slots), func(i int) bool { return r.slots[i].hash >= key })
+	if i == len(r.slots) {
+		i = 0 // wrap around
+	}
+	return r.slots[i].replica, true
+}
+
+// sequence returns up to n distinct replica indices starting at the owner of
+// key and walking clockwise — the failover order for the key. Determinism of
+// responses makes failover safe: any replica answers (model, seed, input)
+// bit-identically, so retrying a connection failure on the next replica
+// changes only cache locality, never the answer.
+func (r *ring) sequence(key uint64, n int) []int {
+	if len(r.slots) == 0 || n <= 0 {
+		return nil
+	}
+	start := sort.Search(len(r.slots), func(i int) bool { return r.slots[i].hash >= key })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.slots) && len(out) < n; i++ {
+		slot := r.slots[(start+i)%len(r.slots)]
+		if !seen[slot.replica] {
+			seen[slot.replica] = true
+			out = append(out, slot.replica)
+		}
+	}
+	return out
+}
+
+// members returns the distinct replica indices present on the ring, sorted.
+func (r *ring) members() []int {
+	seen := map[int]bool{}
+	for _, s := range r.slots {
+		seen[s.replica] = true
+	}
+	out := make([]int, 0, len(seen))
+	for idx := range seen {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://replica-%d:8081", i)
+	}
+	return ids
+}
+
+func allMembers(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// TestRingCoversAllReplicasEvenly: with default vnodes, every replica owns a
+// share of the key space within a sane imbalance bound.
+func TestRingCoversAllReplicasEvenly(t *testing.T) {
+	const replicas, keys = 4, 40000
+	r := buildRing(ringIDs(replicas), allMembers(replicas), 0)
+	owned := make([]int, replicas)
+	for k := 0; k < keys; k++ {
+		idx, ok := r.lookup(ShardKey("bench1", uint64(k)))
+		if !ok {
+			t.Fatal("lookup failed on non-empty ring")
+		}
+		owned[idx]++
+	}
+	mean := float64(keys) / replicas
+	for i, n := range owned {
+		if float64(n) < 0.5*mean || float64(n) > 1.5*mean {
+			t.Fatalf("replica %d owns %d of %d keys (mean %.0f): imbalance too high, owned=%v",
+				i, n, keys, mean, owned)
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyOwnedKeys: dropping one replica must remap only
+// the keys that replica owned — the consistent-hashing property that keeps
+// the rest of the fleet's warm caches intact.
+func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
+	const replicas, keys = 4, 20000
+	ids := ringIDs(replicas)
+	full := buildRing(ids, allMembers(replicas), 0)
+	reduced := buildRing(ids, []int{0, 1, 3}, 0) // replica 2 removed
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := ShardKey("m", uint64(k))
+		before, _ := full.lookup(key)
+		after, _ := reduced.lookup(key)
+		if before != 2 && after != before {
+			t.Fatalf("key %d moved from surviving replica %d to %d", k, before, after)
+		}
+		if before == 2 {
+			moved++
+			if after == 2 {
+				t.Fatalf("key %d still routed to the removed replica", k)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned no keys — distribution test should have caught this")
+	}
+}
+
+// TestRingLookupDeterministicAcrossBuilds: two rings built from the same
+// membership agree on every key — routers are stateless and replaceable.
+func TestRingLookupDeterministicAcrossBuilds(t *testing.T) {
+	ids := ringIDs(3)
+	a := buildRing(ids, allMembers(3), 64)
+	b := buildRing(ids, allMembers(3), 64)
+	for k := 0; k < 5000; k++ {
+		key := ShardKey("digits", uint64(k)*977)
+		ia, _ := a.lookup(key)
+		ib, _ := b.lookup(key)
+		if ia != ib {
+			t.Fatalf("key %d: ring builds disagree (%d vs %d)", k, ia, ib)
+		}
+	}
+}
+
+// TestRingSequenceDistinctAndStable: the failover order starts at the owner,
+// never repeats a replica, and covers the fleet.
+func TestRingSequenceDistinctAndStable(t *testing.T) {
+	ids := ringIDs(3)
+	r := buildRing(ids, allMembers(3), 0)
+	for k := 0; k < 1000; k++ {
+		key := ShardKey("m", uint64(k))
+		owner, _ := r.lookup(key)
+		seq := r.sequence(key, 3)
+		if len(seq) != 3 {
+			t.Fatalf("key %d: sequence %v does not cover the fleet", k, seq)
+		}
+		if seq[0] != owner {
+			t.Fatalf("key %d: sequence starts at %d, owner is %d", k, seq[0], owner)
+		}
+		seen := map[int]bool{}
+		for _, idx := range seq {
+			if seen[idx] {
+				t.Fatalf("key %d: sequence %v repeats a replica", k, seq)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring reports no owner rather than panicking.
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil, nil, 0)
+	if _, ok := r.lookup(1); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if seq := r.sequence(1, 2); seq != nil {
+		t.Fatalf("empty ring returned sequence %v", seq)
+	}
+}
+
+// TestShardKeySpreadsSeeds: adjacent seeds of one model must scatter across
+// the key space (SplitMix64 mixing), not cluster on one replica.
+func TestShardKeySpreadsSeeds(t *testing.T) {
+	r := buildRing(ringIDs(4), allMembers(4), 0)
+	owned := make(map[int]int)
+	for seed := uint64(0); seed < 256; seed++ {
+		idx, _ := r.lookup(ShardKey("bench1", seed))
+		owned[idx]++
+	}
+	if len(owned) != 4 {
+		t.Fatalf("256 adjacent seeds landed on only %d of 4 replicas: %v", len(owned), owned)
+	}
+}

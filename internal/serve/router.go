@@ -1,0 +1,488 @@
+// Router: the stateless front-end of the horizontal serving tier. A router
+// owns no models and no randomness — it consistent-hashes each classify
+// request's (model, seed) shard key onto a fleet of tnserve replicas, so
+// every (model, seed) lands on the one replica whose warm sampled-copy cache
+// already holds it. Replicas come from a static list, are health-checked
+// through their existing /healthz, and leave the ring gracefully: membership
+// changes swap an immutable ring atomically while in-flight proxied requests
+// finish against the old owner.
+//
+// The serving determinism contract is what makes this tier simple: any
+// replica answers (model, seed, input) bit-identically, so routing is purely
+// a cache-locality and load decision. Failover after a connection error just
+// walks the ring to the next replica; the response cannot change.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterConfig tunes the routing tier. The zero value routes with defaults.
+type RouterConfig struct {
+	// Vnodes is the number of virtual nodes per replica on the hash ring
+	// (default DefaultVnodes).
+	Vnodes int
+	// HealthInterval is the period between /healthz sweeps (default 1s;
+	// negative disables the background checker — probes then only run
+	// through CheckNow, which tests and single-shot tools use).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one /healthz probe (default 500ms).
+	HealthTimeout time.Duration
+	// FailAfter is how many consecutive probe failures demote a replica
+	// (default 2); one success promotes it back.
+	FailAfter int
+	// Timeout bounds one proxied classify request (default 30s).
+	Timeout time.Duration
+	// Attempts is how many distinct replicas a request may try when
+	// connections fail (default 2). Only transport errors fail over; HTTP
+	// statuses — including 429 sheds — propagate from the owning replica.
+	Attempts int
+	// RetryAfterS is the Retry-After hint (seconds) on 503 responses when no
+	// replica is routable (default 1).
+	RetryAfterS int
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 2
+	}
+	if c.RetryAfterS <= 0 {
+		c.RetryAfterS = 1
+	}
+	return c
+}
+
+// replica is one backend in the router's static table. Mutable state is
+// atomic — the forwarding path reads it locklessly.
+type replica struct {
+	url string
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	requests counter // proxied classify requests (any outcome)
+	errors   counter // transport failures + 5xx responses
+	sheds    counter // 429 responses propagated from this replica
+
+	consecFails int // health-checker goroutine only
+}
+
+// routable reports whether new requests may be hashed onto the replica.
+func (rep *replica) routable() bool {
+	return rep.healthy.Load() && !rep.draining.Load()
+}
+
+// Router fronts a static fleet of tnserve replicas. Create with NewRouter,
+// expose Handler over HTTP, Close to stop the health checker.
+type Router struct {
+	cfg      RouterConfig
+	client   *http.Client
+	replicas []*replica
+	ids      []string // replica URLs, aligned with replicas
+
+	ring atomic.Pointer[ring]
+	// ringMu serializes membership recomputation: without it a rebuild
+	// computed from stale routability flags could overwrite a newer ring.
+	// Lookups never take it — they read the atomic pointer.
+	ringMu sync.Mutex
+	// healthMu serializes health sweeps (the background loop vs CheckNow
+	// from tests/tools), which share per-replica consecFails counters.
+	healthMu sync.Mutex
+
+	mux   *http.ServeMux
+	start time.Time
+
+	requests  counter // classify requests received
+	unroutble counter // 503s: no routable replica for the key
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a router over the given replica base URLs (e.g.
+// "http://10.0.0.7:8081"). All replicas start healthy — the first health
+// sweep demotes any that are not — so a fleet is routable the moment the
+// router comes up rather than after a full probe round.
+func NewRouter(backends []string, cfg RouterConfig) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one backend")
+	}
+	seen := map[string]bool{}
+	rt := &Router{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	for _, raw := range backends {
+		u := trimSlash(raw)
+		if u == "" || seen[u] {
+			return nil, fmt.Errorf("serve: empty or duplicate backend %q", raw)
+		}
+		seen[u] = true
+		rep := &replica{url: u}
+		rep.healthy.Store(true)
+		rt.replicas = append(rt.replicas, rep)
+		rt.ids = append(rt.ids, u)
+	}
+	rt.client = &http.Client{
+		Timeout: rt.cfg.Timeout,
+		Transport: &http.Transport{
+			// The router concentrates the whole fleet's traffic through one
+			// client; per-host idle connections must cover the concurrency a
+			// replica sees or the proxy burns ports on handshakes.
+			MaxIdleConns:        4 * 64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	rt.rebuildRing()
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/v1/classify", rt.handleClassify)
+	rt.mux.HandleFunc("/v1/models", rt.handleModels)
+	rt.mux.HandleFunc("/healthz", rt.handleHealth)
+	rt.mux.HandleFunc("/debug/stats", rt.handleStats)
+	if rt.cfg.HealthInterval > 0 {
+		rt.wg.Add(1)
+		go rt.healthLoop()
+	}
+	return rt, nil
+}
+
+// trimSlash normalizes a backend URL for use as a stable ring
+// identity: trailing slashes must not make two spellings of one replica hash
+// to different vnode positions.
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving all router endpoints.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the health checker. In-flight proxied requests are owned by
+// their HTTP handlers and finish on their own.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// rebuildRing swaps in a fresh ring over the currently routable replicas.
+// Callers mutate replica routability first, then rebuild; readers see either
+// the old or the new ring, never a partial one.
+func (rt *Router) rebuildRing() {
+	rt.ringMu.Lock()
+	defer rt.ringMu.Unlock()
+	var members []int
+	for i, rep := range rt.replicas {
+		if rep.routable() {
+			members = append(members, i)
+		}
+	}
+	rt.ring.Store(buildRing(rt.ids, members, rt.cfg.Vnodes))
+}
+
+// Drain removes the replica with the given base URL from the ring and waits
+// until its in-flight proxied requests finish — the graceful-removal half of
+// the replica lifecycle. The replica keeps being health-checked; Restore
+// puts it back.
+func (rt *Router) Drain(url string) error {
+	rep := rt.find(url)
+	if rep == nil {
+		return fmt.Errorf("serve: unknown replica %q", url)
+	}
+	rep.draining.Store(true)
+	rt.rebuildRing()
+	// New requests can no longer reach the replica; wait out the ones that
+	// already hold it. The sleep-poll is fine here: drains are rare
+	// operator-speed events, not a hot path.
+	for rep.inflight.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// Restore returns a drained replica to the ring (subject to health).
+func (rt *Router) Restore(url string) error {
+	rep := rt.find(url)
+	if rep == nil {
+		return fmt.Errorf("serve: unknown replica %q", url)
+	}
+	rep.draining.Store(false)
+	rt.rebuildRing()
+	return nil
+}
+
+func (rt *Router) find(url string) *replica {
+	url = trimSlash(url)
+	for _, rep := range rt.replicas {
+		if rep.url == url {
+			return rep
+		}
+	}
+	return nil
+}
+
+// healthLoop sweeps /healthz on every replica at the configured interval.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.CheckNow()
+		}
+	}
+}
+
+// CheckNow probes every replica's /healthz once and applies promotions and
+// demotions to the ring. It is the health checker's body, exported so tests
+// and single-shot tools can drive probes deterministically.
+func (rt *Router) CheckNow() {
+	rt.healthMu.Lock()
+	defer rt.healthMu.Unlock()
+	changed := false
+	for _, rep := range rt.replicas {
+		ok := rt.probe(rep.url)
+		if ok {
+			rep.consecFails = 0
+			if !rep.healthy.Load() {
+				rep.healthy.Store(true)
+				changed = true
+			}
+			continue
+		}
+		rep.consecFails++
+		if rep.consecFails >= rt.cfg.FailAfter && rep.healthy.Load() {
+			// Demotion is the ungraceful-exit path: the replica vanishes from
+			// the ring atomically and requests it was serving either finish
+			// (it is slow) or fail over (it is gone).
+			rep.healthy.Store(false)
+			changed = true
+		}
+	}
+	if changed {
+		rt.rebuildRing()
+	}
+}
+
+func (rt *Router) probe(url string) bool {
+	client := &http.Client{Timeout: rt.cfg.HealthTimeout, Transport: rt.client.Transport}
+	resp, err := client.Get(url + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// shardFields is the minimal slice of a classify payload the router decodes:
+// just enough to compute the shard key. The body forwards verbatim — the
+// replica performs full validation, so router and single-process tnserve
+// reject malformed requests identically.
+type shardFields struct {
+	Model string `json:"model"`
+	Seed  uint64 `json:"seed"`
+}
+
+func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	rt.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return
+	}
+	var key shardFields
+	if err := json.Unmarshal(body, &key); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	ringNow := rt.ring.Load()
+	order := ringNow.sequence(ShardKey(key.Model, key.Seed), rt.cfg.Attempts)
+	if len(order) == 0 {
+		rt.unroutble.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(rt.cfg.RetryAfterS))
+		writeError(w, http.StatusServiceUnavailable, "no routable replica")
+		return
+	}
+	var lastErr error
+	for _, idx := range order {
+		rep := rt.replicas[idx]
+		if rt.forward(w, r, rep, body) {
+			return
+		}
+		lastErr = fmt.Errorf("replica %s unreachable", rep.url)
+	}
+	rt.unroutble.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(rt.cfg.RetryAfterS))
+	writeError(w, http.StatusServiceUnavailable, "all candidate replicas unreachable: "+lastErr.Error())
+	return
+}
+
+// forward proxies one classify body to rep and reports whether a response —
+// any HTTP response, including errors the replica chose to send — was
+// relayed. false means a transport failure before a response; the caller may
+// fail over to the next ring replica, which the determinism contract makes
+// response-invisible.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, body []byte) bool {
+	rep.requests.Add(1)
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		rep.url+"/v1/classify", bytes.NewReader(body))
+	if err != nil {
+		rep.errors.Add(1)
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rep.errors.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		rep.sheds.Add(1)
+	case resp.StatusCode >= 500:
+		rep.errors.Add(1)
+	}
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// handleModels proxies the model catalog from the first routable replica —
+// the fleet serves one homogeneous model set, so any replica's answer is the
+// fleet's answer.
+func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	for _, idx := range rt.ring.Load().members() {
+		rep := rt.replicas[idx]
+		resp, err := rt.client.Get(rep.url + "/v1/models")
+		if err != nil {
+			rep.errors.Add(1)
+			continue
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "no routable replica")
+}
+
+// handleHealth reports router liveness: healthy while at least one replica
+// is routable, so a load balancer in front of several routers drains a
+// router whose whole fleet is gone.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if len(rt.ring.Load().slots) == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no routable replica")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// ReplicaStats is one backend's row in the router's /debug/stats.
+type ReplicaStats struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	OnRing   bool   `json:"on_ring"`
+	Inflight int64  `json:"inflight"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	Sheds    int64  `json:"sheds"`
+}
+
+// RouterStats is the router's /debug/stats payload.
+type RouterStats struct {
+	UptimeS  float64 `json:"uptime_s"`
+	Requests int64   `json:"requests"`
+	// Unroutable counts 503s the router itself produced because no replica
+	// could take the key (distinct from replica-side sheds and errors).
+	Unroutable int64          `json:"unroutable"`
+	RingSlots  int            `json:"ring_slots"`
+	Replicas   []ReplicaStats `json:"replicas"`
+}
+
+// Stats snapshots the router counters.
+func (rt *Router) Stats() RouterStats {
+	ringNow := rt.ring.Load()
+	onRing := map[int]bool{}
+	for _, idx := range ringNow.members() {
+		onRing[idx] = true
+	}
+	out := RouterStats{
+		UptimeS:    time.Since(rt.start).Seconds(),
+		Requests:   rt.requests.Load(),
+		Unroutable: rt.unroutble.Load(),
+		RingSlots:  len(ringNow.slots),
+	}
+	for i, rep := range rt.replicas {
+		out.Replicas = append(out.Replicas, ReplicaStats{
+			URL:      rep.url,
+			Healthy:  rep.healthy.Load(),
+			Draining: rep.draining.Load(),
+			OnRing:   onRing[i],
+			Inflight: rep.inflight.Load(),
+			Requests: rep.requests.Load(),
+			Errors:   rep.errors.Load(),
+			Sheds:    rep.sheds.Load(),
+		})
+	}
+	sort.Slice(out.Replicas, func(i, j int) bool { return out.Replicas[i].URL < out.Replicas[j].URL })
+	return out
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}

@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// fleet is a router fronting n in-process replicas, each a full Server over
+// the same model set — the homogeneous-fleet invariant in miniature.
+type fleet struct {
+	router   *Router
+	front    *httptest.Server // router's HTTP face
+	servers  []*Server
+	backends []*httptest.Server
+	health   []*healthGate
+}
+
+// healthGate wraps a replica handler so tests can fail its /healthz without
+// killing the listener (a demoted replica is still reachable, just unrouted).
+type healthGate struct {
+	inner http.Handler
+	down  atomic.Bool
+}
+
+func (g *healthGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" && g.down.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// newFleet boots n replicas serving nets plus a router over them. The
+// router's background health loop is off — tests drive CheckNow directly so
+// membership changes happen deterministically.
+func newFleet(t *testing.T, n int, nets map[string]*nn.Network, cfg Config, rcfg RouterConfig) *fleet {
+	t.Helper()
+	f := &fleet{}
+	var urls []string
+	for i := 0; i < n; i++ {
+		reg := NewRegistry()
+		for name, net := range nets {
+			if _, err := reg.Register(name, net, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv := NewServer(reg, cfg)
+		gate := &healthGate{inner: srv.Handler()}
+		ts := httptest.NewServer(gate)
+		f.servers = append(f.servers, srv)
+		f.backends = append(f.backends, ts)
+		f.health = append(f.health, gate)
+		urls = append(urls, ts.URL)
+	}
+	rcfg.HealthInterval = -1
+	rt, err := NewRouter(urls, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(f.close)
+	return f
+}
+
+func (f *fleet) close() {
+	f.front.Close()
+	f.router.Close()
+	for i := range f.servers {
+		f.backends[i].Close()
+		f.servers[i].Close()
+	}
+}
+
+// TestRouterEndToEndBitIdentical: the tier's contract test. Concurrent
+// mixed-model traffic through router + fleet must be bit-identical to the
+// offline FastPredictor — sharding must be invisible in every response.
+func TestRouterEndToEndBitIdentical(t *testing.T) {
+	nets := map[string]*nn.Network{
+		"alpha": testNet(t, 11, 24, 12, 3),
+		"beta":  testNet(t, 22, 16, 8, 2),
+	}
+	n := 48
+	if testing.Short() {
+		n = 16
+	}
+	cases := e2eCases(t, nets, n)
+	f := newFleet(t, 3, nets, Config{MaxBatch: 8, Window: 2 * time.Millisecond, Workers: 2}, RouterConfig{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cases))
+	for _, c := range cases {
+		wg.Add(1)
+		go func(c e2eCase) {
+			defer wg.Done()
+			req := ClassifyRequest{Model: c.model, Seed: c.seed, SPF: c.spf}
+			if c.single {
+				req.Input = c.inputs[0]
+			} else {
+				req.Inputs = c.inputs
+			}
+			resp, got, raw := postClassify(t, f.front.Client(), f.front.URL, req)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s seed=%d: status %d: %s", c.model, c.seed, resp.StatusCode, raw)
+				return
+			}
+			for i := range c.want {
+				if got.Results[i].Class != c.want[i].Class {
+					errs <- fmt.Errorf("%s seed=%d item %d: class %d, offline %d",
+						c.model, c.seed, i, got.Results[i].Class, c.want[i].Class)
+					return
+				}
+				for k := range c.want[i].Counts {
+					if got.Results[i].Counts[k] != c.want[i].Counts[k] {
+						errs <- fmt.Errorf("%s seed=%d item %d class %d: count %d, offline %d",
+							c.model, c.seed, i, k, got.Results[i].Counts[k], c.want[i].Counts[k])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The traffic must actually have spread: with 7 distinct seed groups over
+	// 3 replicas, more than one replica should have seen requests.
+	st := f.router.Stats()
+	busy := 0
+	for _, rep := range st.Replicas {
+		if rep.Requests > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d of 3 replicas saw traffic — the ring is not spreading keys: %+v", busy, st.Replicas)
+	}
+	if st.Requests != int64(len(cases)) {
+		t.Fatalf("router counted %d requests, want %d", st.Requests, len(cases))
+	}
+}
+
+// TestRouterShardAffinity: every repetition of one (model, seed) must land on
+// the same replica — the warm-cache locality the ring exists to preserve.
+func TestRouterShardAffinity(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 3, nets, Config{}, RouterConfig{})
+
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = 0.25
+	}
+	const reps = 10
+	for i := 0; i < reps; i++ {
+		resp, _, raw := postClassify(t, f.front.Client(), f.front.URL,
+			ClassifyRequest{Model: "m", Seed: 42, Input: x})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rep %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	st := f.router.Stats()
+	owners := 0
+	for _, rep := range st.Replicas {
+		switch rep.Requests {
+		case 0:
+		case reps:
+			owners++
+		default:
+			t.Fatalf("replica %s saw %d of %d requests — one (model, seed) split across replicas: %+v",
+				rep.URL, rep.Requests, reps, st.Replicas)
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d owners for one shard key, want exactly 1: %+v", owners, st.Replicas)
+	}
+	// The owner's sampled-copy cache proves it: 1 miss, reps-1 hits.
+	for _, srv := range f.servers {
+		s := srv.Stats()
+		m := s.Models["m"]
+		if m.Requests == 0 {
+			continue
+		}
+		if m.SampleCacheMisses != 1 || m.SampleCacheHits != int64(reps-1) {
+			t.Fatalf("owner cache stats %+v, want 1 miss / %d hits", m, reps-1)
+		}
+	}
+}
+
+// TestRouterDrainUnderTraffic: removing a replica mid-burst must finish its
+// in-flight requests, produce zero errors across the burst, and leave the
+// drained replica unused by later traffic.
+func TestRouterDrainUnderTraffic(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	// A 15ms window keeps requests in flight long enough for the drain to
+	// overlap them on a slow machine.
+	f := newFleet(t, 3, nets, Config{MaxBatch: 64, Window: 15 * time.Millisecond}, RouterConfig{})
+
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = 0.5
+	}
+	const burst = 30
+	want := make(map[uint64]int)
+	for s := 0; s < burst; s++ {
+		want[uint64(s)] = directResults(t, nets["m"], uint64(s), [][]float64{x}, 2)[0].Class
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, burst)
+	for s := 0; s < burst; s++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			resp, got, raw := postClassify(t, f.front.Client(), f.front.URL,
+				ClassifyRequest{Model: "m", Seed: seed, SPF: 2, Input: x})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("seed %d: status %d: %s", seed, resp.StatusCode, raw)
+				return
+			}
+			if got.Results[0].Class != want[seed] {
+				errs <- fmt.Errorf("seed %d: class %d, offline %d", seed, got.Results[0].Class, want[seed])
+			}
+		}(uint64(s))
+	}
+	time.Sleep(5 * time.Millisecond) // let part of the burst get in flight
+	victim := f.backends[0].URL
+	if err := f.router.Drain(victim); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := f.router.Stats()
+	for _, rep := range st.Replicas {
+		if rep.Errors != 0 {
+			t.Fatalf("replica %s recorded %d errors during drain: %+v", rep.URL, rep.Errors, st.Replicas)
+		}
+		if rep.URL == victim {
+			if !rep.Draining || rep.OnRing {
+				t.Fatalf("drained replica state %+v, want draining and off ring", rep)
+			}
+			if rep.Inflight != 0 {
+				t.Fatalf("drain returned with %d requests still in flight", rep.Inflight)
+			}
+		}
+	}
+	if st.Unroutable != 0 {
+		t.Fatalf("router produced %d unroutable 503s during a 2/3-capacity drain", st.Unroutable)
+	}
+
+	// Post-drain traffic avoids the victim and still answers bit-identically.
+	before := replicaRequests(st, victim)
+	for s := 0; s < burst; s++ {
+		resp, got, raw := postClassify(t, f.front.Client(), f.front.URL,
+			ClassifyRequest{Model: "m", Seed: uint64(s), SPF: 2, Input: x})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-drain seed %d: status %d: %s", s, resp.StatusCode, raw)
+		}
+		if got.Results[0].Class != want[uint64(s)] {
+			t.Fatalf("post-drain seed %d: class %d, offline %d — failover changed a response",
+				s, got.Results[0].Class, want[uint64(s)])
+		}
+	}
+	if after := replicaRequests(f.router.Stats(), victim); after != before {
+		t.Fatalf("drained replica received %d new requests", after-before)
+	}
+
+	// Restore returns the victim to the ring; its shard keys come home.
+	if err := f.router.Restore(victim); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rep := range f.router.Stats().Replicas {
+		if rep.URL == victim {
+			found = rep.OnRing && !rep.Draining
+		}
+	}
+	if !found {
+		t.Fatal("restored replica did not rejoin the ring")
+	}
+}
+
+func replicaRequests(st RouterStats, url string) int64 {
+	for _, rep := range st.Replicas {
+		if rep.URL == url {
+			return rep.Requests
+		}
+	}
+	return -1
+}
+
+// TestRouterFailoverOnDeadReplica: a replica that is on the ring but not
+// listening (crashed without a health sweep noticing yet) must not surface
+// errors — requests fail over along the ring and, by the determinism
+// contract, their responses do not change.
+func TestRouterFailoverOnDeadReplica(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 2, nets, Config{}, RouterConfig{Attempts: 3})
+
+	// A third backend that accepts no connections: grab a port, then close it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + l.Addr().String()
+	l.Close()
+	rt, err := NewRouter([]string{f.backends[0].URL, f.backends[1].URL, deadURL},
+		RouterConfig{HealthInterval: -1, Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = 0.75
+	}
+	deadSaw := false
+	for s := 0; s < 24; s++ {
+		want := directResults(t, nets["m"], uint64(s), [][]float64{x}, 1)[0].Class
+		resp, got, raw := postClassify(t, front.Client(), front.URL,
+			ClassifyRequest{Model: "m", Seed: uint64(s), Input: x})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", s, resp.StatusCode, raw)
+		}
+		if got.Results[0].Class != want {
+			t.Fatalf("seed %d: failover answer %d, offline %d", s, got.Results[0].Class, want)
+		}
+	}
+	for _, rep := range rt.Stats().Replicas {
+		if rep.URL == deadURL && rep.Errors > 0 {
+			deadSaw = true
+		}
+	}
+	if !deadSaw {
+		t.Fatal("no key hashed onto the dead replica — the test exercised nothing")
+	}
+}
+
+// TestRouterHealthDemotesAndPromotes: FailAfter consecutive probe failures
+// take a replica off the ring; one success brings it back.
+func TestRouterHealthDemotesAndPromotes(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 2, nets, Config{}, RouterConfig{FailAfter: 2})
+
+	f.health[0].down.Store(true)
+	f.router.CheckNow() // strike one: still on ring
+	if st := f.router.Stats(); !statsFor(st, f.backends[0].URL).OnRing {
+		t.Fatal("replica demoted after a single probe failure with FailAfter=2")
+	}
+	f.router.CheckNow() // strike two: demoted
+	st := f.router.Stats()
+	if rep := statsFor(st, f.backends[0].URL); rep.Healthy || rep.OnRing {
+		t.Fatalf("replica still routable after %d failed probes: %+v", 2, rep)
+	}
+
+	// The remaining replica serves the whole key space correctly.
+	x := make([]float64, 12)
+	for s := 0; s < 8; s++ {
+		want := directResults(t, nets["m"], uint64(s), [][]float64{x}, 1)[0].Class
+		resp, got, raw := postClassify(t, f.front.Client(), f.front.URL,
+			ClassifyRequest{Model: "m", Seed: uint64(s), Input: x})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d with one replica down: status %d: %s", s, resp.StatusCode, raw)
+		}
+		if got.Results[0].Class != want {
+			t.Fatalf("seed %d: one-replica answer %d, offline %d", s, got.Results[0].Class, want)
+		}
+	}
+
+	f.health[0].down.Store(false)
+	f.router.CheckNow() // one success promotes
+	if rep := statsFor(f.router.Stats(), f.backends[0].URL); !rep.Healthy || !rep.OnRing {
+		t.Fatalf("replica not promoted after a successful probe: %+v", rep)
+	}
+}
+
+func statsFor(st RouterStats, url string) ReplicaStats {
+	for _, rep := range st.Replicas {
+		if rep.URL == url {
+			return rep
+		}
+	}
+	return ReplicaStats{}
+}
+
+// TestRouterUnroutable: with every replica demoted the router sheds cleanly —
+// 503 with a Retry-After hint, counted in its stats — and /healthz reports
+// the router itself as unhealthy so an upstream balancer can drain it.
+func TestRouterUnroutable(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 1, nets, Config{}, RouterConfig{FailAfter: 1, RetryAfterS: 3})
+
+	f.health[0].down.Store(true)
+	f.router.CheckNow()
+
+	x := make([]float64, 12)
+	resp, _, raw := postClassify(t, f.front.Client(), f.front.URL,
+		ClassifyRequest{Model: "m", Seed: 1, Input: x})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with empty ring, want 503: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", got)
+	}
+	if st := f.router.Stats(); st.Unroutable != 1 {
+		t.Fatalf("unroutable count %d, want 1", st.Unroutable)
+	}
+	hr, err := f.front.Client().Get(f.front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("router /healthz %d with empty ring, want 503", hr.StatusCode)
+	}
+}
+
+// TestRouterPropagatesShed: a replica's 429 must pass through the router
+// verbatim — status, Retry-After, body — and be counted as that replica's
+// shed, not a router error. Backpressure semantics must not change when a
+// router is inserted in front of a worker.
+func TestRouterPropagatesShed(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.WriteHeader(http.StatusOK)
+		case "/v1/classify":
+			w.Header().Set("Retry-After", "7")
+			writeError(w, http.StatusTooManyRequests, "model overloaded")
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer backend.Close()
+	rt, err := NewRouter([]string{backend.URL}, RouterConfig{HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, _, raw := postClassify(t, front.Client(), front.URL,
+		ClassifyRequest{Model: "m", Seed: 1, Input: []float64{1}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want \"7\" from the replica", got)
+	}
+	st := rt.Stats()
+	if st.Replicas[0].Sheds != 1 || st.Replicas[0].Errors != 0 {
+		t.Fatalf("replica stats %+v, want 1 shed and 0 errors", st.Replicas[0])
+	}
+}
+
+// TestRouterParityCheckAndModels: the tnload parity probe passes against a
+// live fleet (router + direct replicas byte-identical), /v1/models proxies
+// the catalog, and the stats endpoint serves the replica table.
+func TestRouterParityCheckAndModels(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 3, nets, Config{MaxBatch: 4, Window: time.Millisecond}, RouterConfig{})
+
+	models, err := FetchModels(f.front.Client(), f.front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Name != "m" || models[0].InputDim != 12 {
+		t.Fatalf("catalog via router = %+v", models)
+	}
+	replicaURLs := []string{f.backends[0].URL, f.backends[1].URL, f.backends[2].URL}
+	n := 12
+	if testing.Short() {
+		n = 6
+	}
+	if _, err := ParityCheck(f.front.Client(), f.front.URL, replicaURLs, models, n, 1); err != nil {
+		t.Fatalf("parity across the fleet: %v", err)
+	}
+
+	resp, err := f.front.Client().Get(f.front.URL + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Replicas) != 3 || st.RingSlots != 3*DefaultVnodes {
+		t.Fatalf("router stats %+v, want 3 replicas and %d slots", st, 3*DefaultVnodes)
+	}
+}
+
+// TestRouterRejectsBadFleet: constructor errors for empty and duplicate
+// backend lists (a duplicate would double a replica's ring share silently).
+func TestRouterRejectsBadFleet(t *testing.T) {
+	if _, err := NewRouter(nil, RouterConfig{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewRouter([]string{"http://a:1", "http://a:1/"}, RouterConfig{}); err == nil {
+		t.Fatal("duplicate backend (modulo trailing slash) accepted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +60,16 @@ type Config struct {
 	// Wave is the ensemble wave size between early-exit checks
 	// (0 = engine.DefaultWave).
 	Wave int
+	// ShedDepth is the per-model admission watermark: a classify request is
+	// refused with 429 + Retry-After while the model already has at least
+	// this many items waiting in the batcher queue — latency is shed before
+	// it collapses into queue-drain time. 0 (the default) disables shedding;
+	// the bounded queue then applies blocking backpressure instead. Set the
+	// watermark below QueueCap so admission rejects before Submit blocks.
+	ShedDepth int
+	// RetryAfterS is the Retry-After hint, in seconds, sent with shed (429)
+	// responses (default 1).
+	RetryAfterS int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +93,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Conf > 1 {
 		c.Conf = 1
+	}
+	if c.ShedDepth < 0 {
+		c.ShedDepth = 0
+	}
+	if c.RetryAfterS <= 0 {
+		c.RetryAfterS = 1
 	}
 	return c
 }
@@ -181,6 +198,7 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 	items   atomic.Int64
+	sheds   atomic.Int64
 }
 
 // NewServer builds a server over reg.
@@ -215,6 +233,7 @@ func (s *Server) Stats() Stats {
 		QueueDepth: s.batcher.Depth(),
 		Flushes:    s.batcher.Flushes(),
 		ItemsTotal: s.items.Load(),
+		ShedsTotal: s.sheds.Load(),
 		Models:     make(map[string]ModelStats),
 	}
 	for _, name := range s.reg.Names() {
@@ -231,7 +250,13 @@ func (s *Server) Stats() Stats {
 // results.
 func (s *Server) flushBatch(batch []*queued) {
 	groups := make(map[*ModelEntry][]*queued)
+	dequeued := time.Now()
 	for _, q := range batch {
+		// The item leaves the queue here: close out its depth slot and
+		// account the enqueue-to-flush wait the operator watches on
+		// /debug/stats to see backpressure building before sheds start.
+		q.entry.stats.queued.Add(-1)
+		q.entry.stats.recordQueueWait(dequeued.Sub(q.enq).Nanoseconds())
 		groups[q.entry] = append(groups[q.entry], q)
 	}
 	type flushState struct {
@@ -366,6 +391,23 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Admission control: shed before the bounded queue starts blocking.
+	// The check is racy by design — concurrent admits can overshoot the
+	// watermark by a few requests — because an exact gate would serialize
+	// every request through a lock for a threshold that is itself a
+	// heuristic. QueueCap remains the hard bound behind it.
+	if s.cfg.ShedDepth > 0 {
+		if depth := entry.stats.queued.Load(); depth+int64(len(inputs)) > int64(s.cfg.ShedDepth) {
+			entry.stats.sheds.Add(1)
+			s.sheds.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterS))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("model %q overloaded: %d items queued (watermark %d)",
+					req.Model, depth, s.cfg.ShedDepth))
+			return
+		}
+	}
+
 	entry.stats.requests.Add(1)
 	var sn *deploy.SampledNet
 	var ens *deploy.Ensemble
@@ -387,6 +429,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			seed: req.Seed, item: uint64(i), enq: now, req: inf,
 		}
 	}
+	entry.stats.queued.Add(int64(len(items)))
 	submitted := 0
 	var submitErr error
 	for _, q := range items {
@@ -398,6 +441,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if submitErr != nil {
 		// Release the slots the unsubmitted tail holds, then wait out the
 		// submitted prefix — graceful drain guarantees it completes.
+		entry.stats.queued.Add(-int64(len(items) - submitted))
 		if inf.remaining.Add(-int64(len(items)-submitted)) == 0 {
 			close(inf.done)
 		}

@@ -18,6 +18,7 @@ type modelStats struct {
 	requests counter // classify requests accepted for this model
 	items    counter // items classified
 	errors   counter // requests rejected or failed
+	sheds    counter // requests refused 429 by the admission watermark
 	batches  counter // engine batch groups that contained this model
 	latNS    counter // summed per-item queue+compute latency
 	maxLatNS counter
@@ -25,6 +26,27 @@ type modelStats struct {
 	ensembleItems counter // items that took the wave-scheduled vote path
 	copiesUsed    counter // summed copies that actually voted
 	earlyExits    counter // ensemble items that exited before their budget
+	// Backpressure observables: items of this model currently in the batcher
+	// queue, and queue-wait accounting (enqueue -> flush start). The wait
+	// counters reset on every /debug/stats scrape, so operators see the max
+	// and mean of the window since they last looked — a building backlog
+	// shows up immediately instead of being averaged away by history.
+	queued    counter
+	waitNS    counter // summed queue wait since last scrape
+	waitCount counter // items behind waitNS
+	waitMaxNS counter // max queue wait since last scrape
+}
+
+// recordQueueWait accounts one item's enqueue-to-flush wait.
+func (s *modelStats) recordQueueWait(ns int64) {
+	s.waitNS.Add(ns)
+	s.waitCount.Add(1)
+	for {
+		cur := s.waitMaxNS.Load()
+		if ns <= cur || s.waitMaxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 func (s *modelStats) recordLatency(ns int64) {
@@ -52,6 +74,15 @@ type ModelStats struct {
 	Requests int64 `json:"requests"`
 	Items    int64 `json:"items"`
 	Errors   int64 `json:"errors"`
+	// Sheds counts requests refused with 429 by the admission watermark;
+	// QueueDepth is the model's items sitting in the batcher queue right now.
+	// QueueWait* cover the window since the previous /debug/stats scrape
+	// (they reset on read): the max and mean enqueue-to-flush wait, the
+	// leading indicator that sheds are about to start.
+	Sheds           int64   `json:"sheds"`
+	QueueDepth      int64   `json:"queue_depth"`
+	QueueWaitMaxMS  float64 `json:"queue_wait_max_ms"`
+	QueueWaitMeanMS float64 `json:"queue_wait_mean_ms"`
 	// Batches counts engine runs that served this model; Items/Batches is the
 	// realized mean batch size.
 	Batches      int64   `json:"batches"`
@@ -75,9 +106,11 @@ type Stats struct {
 	UptimeS    float64 `json:"uptime_s"`
 	QueueDepth int     `json:"queue_depth"`
 	// Flushes counts dispatched micro-batches across all models; ItemsTotal /
-	// UptimeS is the served throughput.
+	// UptimeS is the served throughput. ShedsTotal counts requests refused
+	// with 429 by the per-model admission watermarks.
 	Flushes    int64                 `json:"flushes"`
 	ItemsTotal int64                 `json:"items_total"`
+	ShedsTotal int64                 `json:"sheds_total"`
 	Models     map[string]ModelStats `json:"models"`
 }
 
@@ -89,11 +122,22 @@ func (e *ModelEntry) snapshot() ModelStats {
 		Requests:          s.requests.Load(),
 		Items:             items,
 		Errors:            s.errors.Load(),
+		Sheds:             s.sheds.Load(),
+		QueueDepth:        s.queued.Load(),
 		Batches:           batches,
 		MaxLatencyMS:      float64(s.maxLatNS.Load()) / 1e6,
 		SampleCacheHits:   hits,
 		SampleCacheMisses: misses,
 		EnsembleItems:     s.ensembleItems.Load(),
+	}
+	// Queue-wait counters are scrape-windowed: swap them out atomically so
+	// concurrent recorders start the next window cleanly.
+	if n := s.waitCount.Swap(0); n > 0 {
+		out.QueueWaitMeanMS = float64(s.waitNS.Swap(0)) / float64(n) / 1e6
+		out.QueueWaitMaxMS = float64(s.waitMaxNS.Swap(0)) / 1e6
+	} else {
+		s.waitNS.Swap(0)
+		s.waitMaxNS.Swap(0)
 	}
 	if batches > 0 {
 		out.AvgBatchSize = float64(items) / float64(batches)
