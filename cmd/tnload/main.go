@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +53,7 @@ func main() {
 
 		check    = flag.Int("check", 0, "run this many cross-replica parity probes")
 		replicas = flag.String("replicas", "", "comma-separated replica base URLs probed directly by -check")
+		churn    = flag.String("churn", "", `fleet-churn plan run concurrently with the load: ';'-separated "OFFSET OP URL [PATH]" ops (join/leave/drain/restore via the router's /admin/backends, snapshot via the worker's /admin/snapshot); offsets count from load start, warmup included`)
 
 		out   = flag.String("out", "", "write/merge the report into this BENCH-record JSON file")
 		label = flag.String("label", "tnload", "benchmark name of the report inside -out")
@@ -96,12 +98,30 @@ func main() {
 		ApproxFrac: *approx, Copies: *copies, Conf: *conf,
 		GenSeed: *genSeed, MaxOutstanding: *maxOut,
 	}
-	fmt.Printf("tnload: %s rate=%.0f/s duration=%s warmup=%s models=%v approx=%.2f\n",
-		*url, *rate, *duration, *warmup, names(targets), *approx)
+	var churnOps []serve.ChurnOp
+	if *churn != "" {
+		churnOps, err = serve.ParseChurnPlan(*churn)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("tnload: %s rate=%.0f/s duration=%s warmup=%s models=%v approx=%.2f churn_ops=%d\n",
+		*url, *rate, *duration, *warmup, names(targets), *approx, len(churnOps))
+	var churnResults []serve.ChurnResult
+	churnDone := make(chan struct{})
+	if len(churnOps) > 0 {
+		go func() {
+			defer close(churnDone)
+			churnResults = serve.RunChurn(ctx, nil, *url, churnOps)
+		}()
+	} else {
+		close(churnDone)
+	}
 	report, err := serve.RunLoad(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	<-churnDone
 
 	fmt.Printf("requests   %8d  (ok %d, shed %d, errors %d, overflow %d)\n",
 		report.Requests, report.OK, report.Shed, report.Errors, report.Overflow)
@@ -109,6 +129,20 @@ func main() {
 		report.AchievedRPS, report.TargetRate, 100*report.ShedRate)
 	fmt.Printf("latency ms p50 %.2f  p99 %.2f  p999 %.2f  max %.2f  mean %.2f\n",
 		report.P50MS, report.P99MS, report.P999MS, report.MaxMS, report.MeanMS)
+	if len(report.ReplicaRequests) > 0 {
+		for _, u := range sortedKeys(report.ReplicaRequests) {
+			fmt.Printf("replica    %8d  %s\n", report.ReplicaRequests[u], u)
+		}
+	}
+	churnFailed := false
+	for _, res := range churnResults {
+		status := "ok"
+		if res.Err != nil {
+			status = res.Err.Error()
+			churnFailed = true
+		}
+		fmt.Printf("churn      %8s  %-8s %s  %s\n", res.Op.At, res.Op.Op, res.Op.URL, status)
+	}
 
 	if *out != "" {
 		rec, err := eval.LoadBenchRecord(*out)
@@ -136,6 +170,18 @@ func main() {
 		}
 		fmt.Printf("recorded %q into %s\n", *label, *out)
 	}
+	if churnFailed {
+		fatal(fmt.Errorf("one or more churn operations failed (see above)"))
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // pickModels filters the discovered catalog down to the -model selection

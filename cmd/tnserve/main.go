@@ -20,10 +20,15 @@
 //	tnserve -demo -addr :8081                  # deterministic built-in model
 //	tnserve -addr :9090 -window 1ms -max-batch 128 -workers 8 models/
 //	tnserve -route -backends http://h1:8081,http://h2:8081 -addr :8080
+//	tnserve -demo -snapshot-file /var/lib/tnserve.snap   # warm restarts
 //
 // Endpoints (both roles): POST /v1/classify, GET /v1/models, GET /healthz,
-// GET /debug/stats; -pprof additionally mounts net/http/pprof under
-// /debug/pprof/.
+// GET /debug/stats. Workers add POST /admin/snapshot (write a registry
+// snapshot on demand; with -snapshot-file one is also restored on boot and
+// written on drain, so a rolling restart rejoins warm). Routers add
+// GET/POST /admin/backends (dynamic membership: join/leave/drain/restore,
+// also driven by a watched -backends-file). -pprof additionally mounts
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -64,6 +69,7 @@ func main() {
 		wave       = flag.Int("wave", 0, "ensemble wave size between early-exit checks (0 = engine default)")
 		shedDepth  = flag.Int("shed-depth", 0, "per-model admission watermark: shed 429 once this many items are queued (0 = no shedding, block instead)")
 		retryAfter = flag.Int("retry-after", 1, "Retry-After seconds on shed responses")
+		snapFile   = flag.String("snapshot-file", "", "registry snapshot path: restored on boot if present, written on drain, and the default target of POST /admin/snapshot")
 
 		// Router role.
 		route          = flag.Bool("route", false, "run as a stateless router over -backends instead of serving models")
@@ -74,6 +80,8 @@ func main() {
 		failAfter      = flag.Int("fail-after", 2, "consecutive probe failures that demote a replica")
 		attempts       = flag.Int("attempts", 2, "distinct replicas a request may try on connection failure")
 		proxyTimeout   = flag.Duration("proxy-timeout", 30*time.Second, "timeout of one proxied classify request")
+		backendsFile   = flag.String("backends-file", "", "watched membership file (router role): one replica URL per line; edits join/leave replicas at runtime")
+		watchInterval  = flag.Duration("watch-interval", time.Second, "poll period of -backends-file")
 	)
 	flag.Parse()
 
@@ -88,6 +96,8 @@ func main() {
 				FailAfter:      *failAfter,
 				Attempts:       *attempts,
 				Timeout:        *proxyTimeout,
+				BackendsFile:   *backendsFile,
+				WatchInterval:  *watchInterval,
 			},
 		})
 		return
@@ -120,8 +130,23 @@ func main() {
 			entry.Name, entry.Plan.Classes(), entry.Plan.InputDim())
 		loaded++
 	}
-	if loaded == 0 {
-		fatal(errors.New("no models: pass -models DIR, model files as arguments, or -demo"))
+	// Restore runs after flag loading: models the flags already registered
+	// are skipped (their hot seeds still warm), models only the snapshot
+	// knows are registered from it. A bad or missing snapshot is a cold
+	// start, never a fatal — the snapshot is a warm-start cache, not a
+	// source of truth.
+	if *snapFile != "" {
+		if _, statErr := os.Stat(*snapFile); statErr == nil {
+			info, err := reg.RestoreSnapshotFile(*snapFile)
+			if err != nil {
+				log.Printf("snapshot restore failed (%v): cold start", err)
+			} else {
+				log.Printf("restored snapshot %s: %d model(s), %d warm seed(s)", *snapFile, info.Models, info.Seeds)
+			}
+		}
+	}
+	if loaded == 0 && len(reg.Names()) == 0 {
+		fatal(errors.New("no models: pass -models DIR, model files as arguments, -demo, or a -snapshot-file"))
 	}
 
 	srv := serve.NewServer(reg, serve.Config{
@@ -137,10 +162,25 @@ func main() {
 		Wave:         *wave,
 		ShedDepth:    *shedDepth,
 		RetryAfterS:  *retryAfter,
+		SnapshotPath: *snapFile,
 	})
 	log.Printf("tnserve: %d model(s) %v on %s (window %s, max-batch %d, shed-depth %d)",
-		loaded, reg.Names(), *addr, *window, *maxBatch, *shedDepth)
-	serveHTTP(*addr, withPprof(srv.Handler(), *pprofOn), *drainFor, srv.Close)
+		len(reg.Names()), reg.Names(), *addr, *window, *maxBatch, *shedDepth)
+	closeFn := srv.Close
+	if *snapFile != "" {
+		// Drain writes the snapshot after the batcher has flushed every
+		// accepted item, so the hot-seed set reflects the traffic the replica
+		// actually served right up to shutdown.
+		closeFn = func() {
+			srv.Close()
+			if info, err := reg.WriteSnapshotFile(*snapFile); err != nil {
+				log.Printf("snapshot on drain failed: %v", err)
+			} else {
+				log.Printf("wrote snapshot %s: %d model(s), %d warm seed(s), %d bytes", *snapFile, info.Models, info.Seeds, info.Bytes)
+			}
+		}
+	}
+	serveHTTP(*addr, withPprof(srv.Handler(), *pprofOn), *drainFor, closeFn)
 }
 
 type routerOpts struct {
@@ -152,9 +192,25 @@ type routerOpts struct {
 
 func runRouter(o routerOpts) {
 	var urls []string
-	for _, b := range strings.Split(o.backends, ",") {
-		if b = strings.TrimSpace(b); b != "" {
+	seen := map[string]bool{}
+	add := func(b string) {
+		if b = strings.TrimSpace(b); b != "" && !seen[b] {
+			seen[b] = true
 			urls = append(urls, b)
+		}
+	}
+	for _, b := range strings.Split(o.backends, ",") {
+		add(b)
+	}
+	// The backends file seeds the initial fleet too, so a router can boot
+	// from the watched file alone and track it from there.
+	if o.cfg.BackendsFile != "" {
+		fromFile, err := serve.ReadBackendsFile(o.cfg.BackendsFile)
+		if err != nil && !os.IsNotExist(err) {
+			fatal(err)
+		}
+		for _, b := range fromFile {
+			add(b)
 		}
 	}
 	rt, err := serve.NewRouter(urls, o.cfg)

@@ -150,8 +150,11 @@ func TestDocsCoreFilesExist(t *testing.T) {
 		"internal/serve/ensemble_test.go",
 		"internal/serve/ring.go",
 		"internal/serve/router.go",
+		"internal/serve/snapshot.go",
 		"internal/serve/loadgen.go",
 		"internal/serve/router_test.go",
+		"internal/serve/snapshot_test.go",
+		"internal/serve/chaos_test.go",
 	} {
 		if !strings.Contains(string(det), src) {
 			t.Errorf("docs/DETERMINISM.md does not reference %s", src)

@@ -124,6 +124,10 @@ type LoadReport struct {
 	P999MS      float64 `json:"p999_ms"`
 	MaxMS       float64 `json:"max_ms"`
 	MeanMS      float64 `json:"mean_ms"`
+	// ReplicaRequests attributes measured 200s to the replica that answered,
+	// keyed by the router's X-TN-Replica response header. Empty when the
+	// target is a bare worker (no router in front).
+	ReplicaRequests map[string]int64 `json:"replica_requests,omitempty"`
 }
 
 // loadBody is one precomputed request body. Bodies are marshaled once up
@@ -264,8 +268,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 			resp, err := cfg.Client.Post(url, "application/json", bytes.NewReader(raw))
 			elapsed := time.Since(launch)
 			var status int
+			var answeredBy string
 			if err == nil {
 				io.Copy(io.Discard, resp.Body)
+				answeredBy = resp.Header.Get(ReplicaHeader)
 				resp.Body.Close()
 				status = resp.StatusCode
 			}
@@ -280,6 +286,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 			case status == http.StatusOK:
 				report.OK++
 				latencies = append(latencies, elapsed.Nanoseconds())
+				if answeredBy != "" {
+					if report.ReplicaRequests == nil {
+						report.ReplicaRequests = make(map[string]int64)
+					}
+					report.ReplicaRequests[answeredBy]++
+				}
 			case status == http.StatusTooManyRequests:
 				report.Shed++
 			default:

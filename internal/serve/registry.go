@@ -118,6 +118,20 @@ func (e *ModelEntry) CacheStats() (hits, misses int64) {
 	return e.hits.Load(), e.misses.Load()
 }
 
+// CacheKeys returns the seeds currently warm in the sampled-copy cache,
+// sorted ascending. This is the hot-seed set a registry snapshot records so
+// a restored replica can rewarm exactly the copies it was serving.
+func (e *ModelEntry) CacheKeys() []uint64 {
+	e.mu.Lock()
+	keys := make([]uint64, 0, len(e.cache))
+	for k := range e.cache {
+		keys = append(keys, k)
+	}
+	e.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // Registry holds the models a server exposes. Registration compiles each
 // network's QuantPlan exactly once; lookups are lock-cheap and concurrent.
 type Registry struct {

@@ -28,13 +28,17 @@ func ShardKey(model string, seed uint64) uint64 {
 
 // ringSlot is one virtual node: a point on the ring owned by a replica.
 type ringSlot struct {
-	hash    uint64
-	replica int // index into the router's replica table
+	hash uint64
+	rep  *replica
 }
 
 // ring is an immutable consistent-hash ring over the currently routable
-// replicas. Membership changes build a fresh ring and swap it in atomically
-// (atomic.Pointer in the router); lookups never lock.
+// replicas. Slots reference replicas directly, so a ring snapshot stays
+// valid across membership changes: a request routed on an old ring keeps
+// forwarding to the replica objects it captured while a new ring (possibly
+// without them) is already swapped in. Membership changes build a fresh
+// ring and swap it atomically (atomic.Pointer in the router); lookups never
+// lock.
 type ring struct {
 	slots []ringSlot
 }
@@ -44,22 +48,23 @@ type ring struct {
 // while the whole ring still fits in a couple of cache lines per replica.
 const DefaultVnodes = 128
 
-// buildRing places vnodes virtual nodes for each listed replica index, keyed
-// by the replica's stable identity string (its URL). Vnode positions depend
+// buildRing places vnodes virtual nodes for each member replica, keyed by
+// the replica's stable identity string (its URL). Vnode positions depend
 // only on (identity, vnode index), so adding or removing one replica moves
 // only the keys that replica owned — the rest of the fleet keeps its warm
-// cache slots.
-func buildRing(identities []string, members []int, vnodes int) *ring {
+// cache slots. That minimal-movement property is what makes dynamic
+// membership cheap: a join rebalances 1/n of the keyspace, nothing else.
+func buildRing(members []*replica, vnodes int) *ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
 	r := &ring{slots: make([]ringSlot, 0, len(members)*vnodes)}
-	for _, idx := range members {
-		base := ShardKey(identities[idx], 0)
+	for _, rep := range members {
+		base := ShardKey(rep.url, 0)
 		for v := 0; v < vnodes; v++ {
 			r.slots = append(r.slots, ringSlot{
-				hash:    rng.SplitMix64(base + uint64(v)),
-				replica: idx,
+				hash: rng.SplitMix64(base + uint64(v)),
+				rep:  rep,
 			})
 		}
 	}
@@ -70,57 +75,57 @@ func buildRing(identities []string, members []int, vnodes int) *ring {
 		}
 		// Stable total order even on (astronomically unlikely) hash
 		// collisions, so every router instance agrees on ownership.
-		return a.replica < b.replica
+		return a.rep.url < b.rep.url
 	})
 	return r
 }
 
-// lookup returns the replica index owning key, plus ok=false on an empty
-// ring. Ownership is the standard consistent-hash rule: the first slot
-// clockwise from the key.
-func (r *ring) lookup(key uint64) (int, bool) {
+// lookup returns the replica owning key, plus ok=false on an empty ring.
+// Ownership is the standard consistent-hash rule: the first slot clockwise
+// from the key.
+func (r *ring) lookup(key uint64) (*replica, bool) {
 	if len(r.slots) == 0 {
-		return 0, false
+		return nil, false
 	}
 	i := sort.Search(len(r.slots), func(i int) bool { return r.slots[i].hash >= key })
 	if i == len(r.slots) {
 		i = 0 // wrap around
 	}
-	return r.slots[i].replica, true
+	return r.slots[i].rep, true
 }
 
-// sequence returns up to n distinct replica indices starting at the owner of
-// key and walking clockwise — the failover order for the key. Determinism of
+// sequence returns up to n distinct replicas starting at the owner of key
+// and walking clockwise — the failover order for the key. Determinism of
 // responses makes failover safe: any replica answers (model, seed, input)
 // bit-identically, so retrying a connection failure on the next replica
 // changes only cache locality, never the answer.
-func (r *ring) sequence(key uint64, n int) []int {
+func (r *ring) sequence(key uint64, n int) []*replica {
 	if len(r.slots) == 0 || n <= 0 {
 		return nil
 	}
 	start := sort.Search(len(r.slots), func(i int) bool { return r.slots[i].hash >= key })
-	out := make([]int, 0, n)
-	seen := make(map[int]bool, n)
+	out := make([]*replica, 0, n)
+	seen := make(map[*replica]bool, n)
 	for i := 0; i < len(r.slots) && len(out) < n; i++ {
 		slot := r.slots[(start+i)%len(r.slots)]
-		if !seen[slot.replica] {
-			seen[slot.replica] = true
-			out = append(out, slot.replica)
+		if !seen[slot.rep] {
+			seen[slot.rep] = true
+			out = append(out, slot.rep)
 		}
 	}
 	return out
 }
 
-// members returns the distinct replica indices present on the ring, sorted.
-func (r *ring) members() []int {
-	seen := map[int]bool{}
+// members returns the distinct replicas present on the ring, sorted by URL.
+func (r *ring) members() []*replica {
+	seen := map[*replica]bool{}
+	out := make([]*replica, 0, 8)
 	for _, s := range r.slots {
-		seen[s.replica] = true
+		if !seen[s.rep] {
+			seen[s.rep] = true
+			out = append(out, s.rep)
+		}
 	}
-	out := make([]int, 0, len(seen))
-	for idx := range seen {
-		out = append(out, idx)
-	}
-	sort.Ints(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].url < out[j].url })
 	return out
 }

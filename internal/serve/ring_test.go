@@ -5,34 +5,40 @@ import (
 	"testing"
 )
 
-func ringIDs(n int) []string {
-	ids := make([]string, n)
-	for i := range ids {
-		ids[i] = fmt.Sprintf("http://replica-%d:8081", i)
+// ringReplicas builds n bare replica table entries with stable identities —
+// the ring only reads rep.url, so tests need no live backends.
+func ringReplicas(n int) []*replica {
+	reps := make([]*replica, n)
+	for i := range reps {
+		reps[i] = &replica{url: fmt.Sprintf("http://replica-%d:8081", i)}
 	}
-	return ids
+	return reps
 }
 
-func allMembers(n int) []int {
-	m := make([]int, n)
-	for i := range m {
-		m[i] = i
+// repIndex maps each replica pointer back to its table index for readable
+// assertions.
+func repIndex(reps []*replica) map[*replica]int {
+	idx := make(map[*replica]int, len(reps))
+	for i, rep := range reps {
+		idx[rep] = i
 	}
-	return m
+	return idx
 }
 
 // TestRingCoversAllReplicasEvenly: with default vnodes, every replica owns a
 // share of the key space within a sane imbalance bound.
 func TestRingCoversAllReplicasEvenly(t *testing.T) {
 	const replicas, keys = 4, 40000
-	r := buildRing(ringIDs(replicas), allMembers(replicas), 0)
+	reps := ringReplicas(replicas)
+	idx := repIndex(reps)
+	r := buildRing(reps, 0)
 	owned := make([]int, replicas)
 	for k := 0; k < keys; k++ {
-		idx, ok := r.lookup(ShardKey("bench1", uint64(k)))
+		rep, ok := r.lookup(ShardKey("bench1", uint64(k)))
 		if !ok {
 			t.Fatal("lookup failed on non-empty ring")
 		}
-		owned[idx]++
+		owned[idx[rep]]++
 	}
 	mean := float64(keys) / replicas
 	for i, n := range owned {
@@ -48,20 +54,20 @@ func TestRingCoversAllReplicasEvenly(t *testing.T) {
 // the rest of the fleet's warm caches intact.
 func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
 	const replicas, keys = 4, 20000
-	ids := ringIDs(replicas)
-	full := buildRing(ids, allMembers(replicas), 0)
-	reduced := buildRing(ids, []int{0, 1, 3}, 0) // replica 2 removed
+	reps := ringReplicas(replicas)
+	full := buildRing(reps, 0)
+	reduced := buildRing([]*replica{reps[0], reps[1], reps[3]}, 0) // replica 2 removed
 	moved := 0
 	for k := 0; k < keys; k++ {
 		key := ShardKey("m", uint64(k))
 		before, _ := full.lookup(key)
 		after, _ := reduced.lookup(key)
-		if before != 2 && after != before {
-			t.Fatalf("key %d moved from surviving replica %d to %d", k, before, after)
+		if before != reps[2] && after != before {
+			t.Fatalf("key %d moved from surviving replica %s to %s", k, before.url, after.url)
 		}
-		if before == 2 {
+		if before == reps[2] {
 			moved++
-			if after == 2 {
+			if after == reps[2] {
 				t.Fatalf("key %d still routed to the removed replica", k)
 			}
 		}
@@ -71,18 +77,47 @@ func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
 	}
 }
 
+// TestRingJoinMovesOnlyNewShare: the mirror property of removal, and the one
+// dynamic membership leans on — a joining replica takes over only the keys
+// it now owns; no key moves between pre-existing replicas.
+func TestRingJoinMovesOnlyNewShare(t *testing.T) {
+	const keys = 20000
+	reps := ringReplicas(5)
+	before := buildRing(reps[:4], 0)
+	after := buildRing(reps, 0) // replica 4 joined
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := ShardKey("m", uint64(k))
+		ownerBefore, _ := before.lookup(key)
+		ownerAfter, _ := after.lookup(key)
+		if ownerAfter != ownerBefore {
+			if ownerAfter != reps[4] {
+				t.Fatalf("key %d moved between pre-existing replicas %s -> %s on a join",
+					k, ownerBefore.url, ownerAfter.url)
+			}
+			moved++
+		}
+	}
+	// The joiner should own roughly 1/5 of the keyspace; far more means the
+	// rebalance was not minimal, none means vnode placement is broken.
+	if moved == 0 || float64(moved) > 0.4*keys {
+		t.Fatalf("join moved %d of %d keys (expected ≈%d)", moved, keys, keys/5)
+	}
+}
+
 // TestRingLookupDeterministicAcrossBuilds: two rings built from the same
 // membership agree on every key — routers are stateless and replaceable.
+// Ownership is identity-keyed (URL), so the rings intentionally use distinct
+// replica objects with equal URLs.
 func TestRingLookupDeterministicAcrossBuilds(t *testing.T) {
-	ids := ringIDs(3)
-	a := buildRing(ids, allMembers(3), 64)
-	b := buildRing(ids, allMembers(3), 64)
+	a := buildRing(ringReplicas(3), 64)
+	b := buildRing(ringReplicas(3), 64)
 	for k := 0; k < 5000; k++ {
 		key := ShardKey("digits", uint64(k)*977)
-		ia, _ := a.lookup(key)
-		ib, _ := b.lookup(key)
-		if ia != ib {
-			t.Fatalf("key %d: ring builds disagree (%d vs %d)", k, ia, ib)
+		ra, _ := a.lookup(key)
+		rb, _ := b.lookup(key)
+		if ra.url != rb.url {
+			t.Fatalf("key %d: ring builds disagree (%s vs %s)", k, ra.url, rb.url)
 		}
 	}
 }
@@ -90,8 +125,7 @@ func TestRingLookupDeterministicAcrossBuilds(t *testing.T) {
 // TestRingSequenceDistinctAndStable: the failover order starts at the owner,
 // never repeats a replica, and covers the fleet.
 func TestRingSequenceDistinctAndStable(t *testing.T) {
-	ids := ringIDs(3)
-	r := buildRing(ids, allMembers(3), 0)
+	r := buildRing(ringReplicas(3), 0)
 	for k := 0; k < 1000; k++ {
 		key := ShardKey("m", uint64(k))
 		owner, _ := r.lookup(key)
@@ -100,21 +134,21 @@ func TestRingSequenceDistinctAndStable(t *testing.T) {
 			t.Fatalf("key %d: sequence %v does not cover the fleet", k, seq)
 		}
 		if seq[0] != owner {
-			t.Fatalf("key %d: sequence starts at %d, owner is %d", k, seq[0], owner)
+			t.Fatalf("key %d: sequence starts at %s, owner is %s", k, seq[0].url, owner.url)
 		}
-		seen := map[int]bool{}
-		for _, idx := range seq {
-			if seen[idx] {
-				t.Fatalf("key %d: sequence %v repeats a replica", k, seq)
+		seen := map[*replica]bool{}
+		for _, rep := range seq {
+			if seen[rep] {
+				t.Fatalf("key %d: sequence repeats replica %s", k, rep.url)
 			}
-			seen[idx] = true
+			seen[rep] = true
 		}
 	}
 }
 
 // TestRingEmpty: an empty ring reports no owner rather than panicking.
 func TestRingEmpty(t *testing.T) {
-	r := buildRing(nil, nil, 0)
+	r := buildRing(nil, 0)
 	if _, ok := r.lookup(1); ok {
 		t.Fatal("empty ring returned an owner")
 	}
@@ -126,11 +160,11 @@ func TestRingEmpty(t *testing.T) {
 // TestShardKeySpreadsSeeds: adjacent seeds of one model must scatter across
 // the key space (SplitMix64 mixing), not cluster on one replica.
 func TestShardKeySpreadsSeeds(t *testing.T) {
-	r := buildRing(ringIDs(4), allMembers(4), 0)
-	owned := make(map[int]int)
+	r := buildRing(ringReplicas(4), 0)
+	owned := make(map[*replica]int)
 	for seed := uint64(0); seed < 256; seed++ {
-		idx, _ := r.lookup(ShardKey("bench1", seed))
-		owned[idx]++
+		rep, _ := r.lookup(ShardKey("bench1", seed))
+		owned[rep]++
 	}
 	if len(owned) != 4 {
 		t.Fatalf("256 adjacent seeds landed on only %d of 4 replicas: %v", len(owned), owned)

@@ -2,10 +2,14 @@
 // owns no models and no randomness — it consistent-hashes each classify
 // request's (model, seed) shard key onto a fleet of tnserve replicas, so
 // every (model, seed) lands on the one replica whose warm sampled-copy cache
-// already holds it. Replicas come from a static list, are health-checked
-// through their existing /healthz, and leave the ring gracefully: membership
-// changes swap an immutable ring atomically while in-flight proxied requests
-// finish against the old owner.
+// already holds it. Replicas are seeded at boot and change at runtime:
+// POST /admin/backends (or a watched backends file) joins and leaves
+// replicas while traffic flows, health checks demote and promote them
+// through their existing /healthz, and every membership change swaps an
+// immutable ring atomically while in-flight proxied requests finish against
+// the old owner. Consistent hashing keeps churn cheap — a join or leave
+// moves only the departing replica's share of the keyspace, so the rest of
+// the fleet keeps its warm caches.
 //
 // The serving determinism contract is what makes this tier simple: any
 // replica answers (model, seed, input) bit-identically, so routing is purely
@@ -18,13 +22,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ReplicaHeader is the response header the router stamps on every proxied
+// reply with the base URL of the replica that answered. It exists for
+// attribution: load generators and churn tests assert shard affinity and
+// keyspace movement per request instead of inferring them from stats
+// deltas.
+const ReplicaHeader = "X-TN-Replica"
 
 // RouterConfig tunes the routing tier. The zero value routes with defaults.
 type RouterConfig struct {
@@ -49,6 +63,14 @@ type RouterConfig struct {
 	// RetryAfterS is the Retry-After hint (seconds) on 503 responses when no
 	// replica is routable (default 1).
 	RetryAfterS int
+	// BackendsFile, when set, is a watched membership file: one replica URL
+	// per line (or comma-separated; # comments). The router polls it every
+	// WatchInterval and syncs membership to its contents — joins new URLs,
+	// drains and removes missing ones.
+	BackendsFile string
+	// WatchInterval is the poll period of the backends file (default 1s;
+	// negative disables the watcher even when BackendsFile is set).
+	WatchInterval time.Duration
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -73,10 +95,13 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.RetryAfterS <= 0 {
 		c.RetryAfterS = 1
 	}
+	if c.WatchInterval == 0 {
+		c.WatchInterval = time.Second
+	}
 	return c
 }
 
-// replica is one backend in the router's static table. Mutable state is
+// replica is one backend in the router's membership table. Mutable state is
 // atomic — the forwarding path reads it locklessly.
 type replica struct {
 	url string
@@ -97,18 +122,24 @@ func (rep *replica) routable() bool {
 	return rep.healthy.Load() && !rep.draining.Load()
 }
 
-// Router fronts a static fleet of tnserve replicas. Create with NewRouter,
-// expose Handler over HTTP, Close to stop the health checker.
+// Router fronts a dynamic fleet of tnserve replicas. Create with NewRouter,
+// expose Handler over HTTP, Close to stop the background loops.
 type Router struct {
-	cfg      RouterConfig
-	client   *http.Client
-	replicas []*replica
-	ids      []string // replica URLs, aligned with replicas
+	cfg    RouterConfig
+	client *http.Client
+
+	// reps is the membership table: an immutable slice swapped whole on
+	// every join and leave (copy-on-write), so the forwarding, stats, and
+	// health paths read it without locks. memberMu serializes the writers —
+	// Join, Leave, and SetBackends — and makes leave's drain-then-remove
+	// sequence atomic with respect to other membership changes.
+	reps     atomic.Pointer[[]*replica]
+	memberMu sync.Mutex
 
 	ring atomic.Pointer[ring]
-	// ringMu serializes membership recomputation: without it a rebuild
-	// computed from stale routability flags could overwrite a newer ring.
-	// Lookups never take it — they read the atomic pointer.
+	// ringMu serializes ring recomputation: without it a rebuild computed
+	// from stale routability flags could overwrite a newer ring. Lookups
+	// never take it — they read the atomic pointer.
 	ringMu sync.Mutex
 	// healthMu serializes health sweeps (the background loop vs CheckNow
 	// from tests/tools), which share per-replica consecFails counters.
@@ -128,7 +159,9 @@ type Router struct {
 // NewRouter builds a router over the given replica base URLs (e.g.
 // "http://10.0.0.7:8081"). All replicas start healthy — the first health
 // sweep demotes any that are not — so a fleet is routable the moment the
-// router comes up rather than after a full probe round.
+// router comes up rather than after a full probe round. Replicas joined
+// later (admin endpoint or backends file) are probed once before going on
+// the ring.
 func NewRouter(backends []string, cfg RouterConfig) (*Router, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("serve: router needs at least one backend")
@@ -139,6 +172,7 @@ func NewRouter(backends []string, cfg RouterConfig) (*Router, error) {
 		start: time.Now(),
 		stop:  make(chan struct{}),
 	}
+	var table []*replica
 	for _, raw := range backends {
 		u := trimSlash(raw)
 		if u == "" || seen[u] {
@@ -147,9 +181,9 @@ func NewRouter(backends []string, cfg RouterConfig) (*Router, error) {
 		seen[u] = true
 		rep := &replica{url: u}
 		rep.healthy.Store(true)
-		rt.replicas = append(rt.replicas, rep)
-		rt.ids = append(rt.ids, u)
+		table = append(table, rep)
 	}
+	rt.reps.Store(&table)
 	rt.client = &http.Client{
 		Timeout: rt.cfg.Timeout,
 		Transport: &http.Transport{
@@ -167,9 +201,14 @@ func NewRouter(backends []string, cfg RouterConfig) (*Router, error) {
 	rt.mux.HandleFunc("/v1/models", rt.handleModels)
 	rt.mux.HandleFunc("/healthz", rt.handleHealth)
 	rt.mux.HandleFunc("/debug/stats", rt.handleStats)
+	rt.mux.HandleFunc("/admin/backends", rt.handleBackends)
 	if rt.cfg.HealthInterval > 0 {
 		rt.wg.Add(1)
 		go rt.healthLoop()
+	}
+	if rt.cfg.BackendsFile != "" && rt.cfg.WatchInterval > 0 {
+		rt.wg.Add(1)
+		go rt.watchLoop()
 	}
 	return rt, nil
 }
@@ -187,26 +226,29 @@ func trimSlash(s string) string {
 // Handler returns the HTTP handler serving all router endpoints.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
-// Close stops the health checker. In-flight proxied requests are owned by
+// Close stops the background loops. In-flight proxied requests are owned by
 // their HTTP handlers and finish on their own.
 func (rt *Router) Close() {
 	rt.stopOnce.Do(func() { close(rt.stop) })
 	rt.wg.Wait()
 }
 
+// table returns the current membership snapshot.
+func (rt *Router) table() []*replica { return *rt.reps.Load() }
+
 // rebuildRing swaps in a fresh ring over the currently routable replicas.
-// Callers mutate replica routability first, then rebuild; readers see either
-// the old or the new ring, never a partial one.
+// Callers mutate replica routability (or membership) first, then rebuild;
+// readers see either the old or the new ring, never a partial one.
 func (rt *Router) rebuildRing() {
 	rt.ringMu.Lock()
 	defer rt.ringMu.Unlock()
-	var members []int
-	for i, rep := range rt.replicas {
+	var members []*replica
+	for _, rep := range rt.table() {
 		if rep.routable() {
-			members = append(members, i)
+			members = append(members, rep)
 		}
 	}
-	rt.ring.Store(buildRing(rt.ids, members, rt.cfg.Vnodes))
+	rt.ring.Store(buildRing(members, rt.cfg.Vnodes))
 }
 
 // Drain removes the replica with the given base URL from the ring and waits
@@ -218,6 +260,11 @@ func (rt *Router) Drain(url string) error {
 	if rep == nil {
 		return fmt.Errorf("serve: unknown replica %q", url)
 	}
+	rt.drainReplica(rep)
+	return nil
+}
+
+func (rt *Router) drainReplica(rep *replica) {
 	rep.draining.Store(true)
 	rt.rebuildRing()
 	// New requests can no longer reach the replica; wait out the ones that
@@ -225,6 +272,16 @@ func (rt *Router) Drain(url string) error {
 	// operator-speed events, not a hot path.
 	for rep.inflight.Load() > 0 {
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// find returns the member with the given (normalized) base URL, or nil.
+func (rt *Router) find(url string) *replica {
+	url = trimSlash(url)
+	for _, rep := range rt.table() {
+		if rep.url == url {
+			return rep
+		}
 	}
 	return nil
 }
@@ -240,14 +297,167 @@ func (rt *Router) Restore(url string) error {
 	return nil
 }
 
-func (rt *Router) find(url string) *replica {
-	url = trimSlash(url)
-	for _, rep := range rt.replicas {
-		if rep.url == url {
-			return rep
+// Join adds a replica to the fleet at runtime. The new replica is probed
+// once synchronously: a live one goes on the ring immediately (taking over
+// only its own share of the keyspace); a dead one joins demoted and the
+// health sweep promotes it when it comes up. Joining an existing member is
+// an error — Restore un-drains, Join adds.
+func (rt *Router) Join(url string) error {
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	return rt.joinLocked(url)
+}
+
+func (rt *Router) joinLocked(url string) error {
+	u := trimSlash(url)
+	if u == "" {
+		return fmt.Errorf("serve: empty backend URL")
+	}
+	if rt.find(u) != nil {
+		return fmt.Errorf("serve: replica %q is already a member", u)
+	}
+	rep := &replica{url: u}
+	rep.healthy.Store(rt.probe(u))
+	old := rt.table()
+	table := make([]*replica, 0, len(old)+1)
+	table = append(append(table, old...), rep)
+	rt.reps.Store(&table)
+	rt.rebuildRing()
+	return nil
+}
+
+// Leave removes a replica from the fleet at runtime with full drain
+// semantics: it comes off the ring atomically, its in-flight requests are
+// waited out, and only then does it leave the membership table. Zero
+// requests are lost — the same guarantee Drain gives, plus removal.
+func (rt *Router) Leave(url string) error {
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	return rt.leaveLocked(url)
+}
+
+func (rt *Router) leaveLocked(url string) error {
+	u := trimSlash(url)
+	rep := rt.find(u)
+	if rep == nil {
+		return fmt.Errorf("serve: unknown replica %q", u)
+	}
+	rt.drainReplica(rep)
+	old := rt.table()
+	table := make([]*replica, 0, len(old)-1)
+	for _, r := range old {
+		if r != rep {
+			table = append(table, r)
 		}
 	}
+	rt.reps.Store(&table)
+	rt.rebuildRing()
 	return nil
+}
+
+// Backends returns the current membership URLs, sorted.
+func (rt *Router) Backends() []string {
+	tbl := rt.table()
+	out := make([]string, 0, len(tbl))
+	for _, rep := range tbl {
+		out = append(out, rep.url)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetBackends reconciles membership to exactly urls: joins the ones not yet
+// in the fleet, leaves (drain + remove) the ones no longer listed. It
+// returns what changed. This is the watched-backends-file primitive, also
+// usable directly by orchestration.
+func (rt *Router) SetBackends(urls []string) (joined, left []string, err error) {
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	want := map[string]bool{}
+	for _, raw := range urls {
+		u := trimSlash(raw)
+		if u == "" {
+			return joined, left, fmt.Errorf("serve: empty backend URL")
+		}
+		want[u] = true
+	}
+	for u := range want {
+		if rt.find(u) == nil {
+			if jerr := rt.joinLocked(u); jerr != nil {
+				return joined, left, jerr
+			}
+			joined = append(joined, u)
+		}
+	}
+	for _, rep := range rt.table() {
+		if !want[rep.url] {
+			if lerr := rt.leaveLocked(rep.url); lerr != nil {
+				return joined, left, lerr
+			}
+			left = append(left, rep.url)
+		}
+	}
+	sort.Strings(joined)
+	sort.Strings(left)
+	return joined, left, nil
+}
+
+// ReadBackendsFile parses a backends membership file: replica URLs
+// separated by newlines or commas, blank lines and #-comments ignored.
+func ReadBackendsFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var urls []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, field := range strings.Split(line, ",") {
+			if u := trimSlash(strings.TrimSpace(field)); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	return urls, nil
+}
+
+// watchLoop polls the backends file and reconciles membership to it. The
+// file is the operator's declarative fleet spec: appending a URL joins a
+// replica, deleting a line drains and removes one.
+func (rt *Router) watchLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.WatchInterval)
+	defer ticker.Stop()
+	var lastMod time.Time
+	var lastSize int64
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		fi, err := os.Stat(rt.cfg.BackendsFile)
+		if err != nil {
+			continue // absent file: keep current membership
+		}
+		if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = fi.ModTime(), fi.Size()
+		urls, err := ReadBackendsFile(rt.cfg.BackendsFile)
+		if err != nil || len(urls) == 0 {
+			// An unreadable or empty spec never empties the fleet: a truncated
+			// write mid-update must not drain every replica.
+			continue
+		}
+		joined, left, err := rt.SetBackends(urls)
+		if len(joined) > 0 || len(left) > 0 || err != nil {
+			log.Printf("serve: backends file %s: joined %v, left %v, err=%v",
+				rt.cfg.BackendsFile, joined, left, err)
+		}
+	}
 }
 
 // healthLoop sweeps /healthz on every replica at the configured interval.
@@ -272,7 +482,7 @@ func (rt *Router) CheckNow() {
 	rt.healthMu.Lock()
 	defer rt.healthMu.Unlock()
 	changed := false
-	for _, rep := range rt.replicas {
+	for _, rep := range rt.table() {
 		ok := rt.probe(rep.url)
 		if ok {
 			rep.consecFails = 0
@@ -341,8 +551,7 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var lastErr error
-	for _, idx := range order {
-		rep := rt.replicas[idx]
+	for _, rep := range order {
 		if rt.forward(w, r, rep, body) {
 			return
 		}
@@ -351,7 +560,6 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 	rt.unroutble.Add(1)
 	w.Header().Set("Retry-After", strconv.Itoa(rt.cfg.RetryAfterS))
 	writeError(w, http.StatusServiceUnavailable, "all candidate replicas unreachable: "+lastErr.Error())
-	return
 }
 
 // forward proxies one classify body to rep and reports whether a response —
@@ -388,6 +596,8 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, 
 			h.Set(k, v)
 		}
 	}
+	// Attribution: which replica actually answered (after any failover).
+	h.Set(ReplicaHeader, rep.url)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	return true
@@ -401,8 +611,7 @@ func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	for _, idx := range rt.ring.Load().members() {
-		rep := rt.replicas[idx]
+	for _, rep := range rt.ring.Load().members() {
 		resp, err := rt.client.Get(rep.url + "/v1/models")
 		if err != nil {
 			rep.errors.Add(1)
@@ -410,6 +619,7 @@ func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
 		}
 		defer resp.Body.Close()
 		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.Header().Set(ReplicaHeader, rep.url)
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body)
 		return
@@ -429,6 +639,65 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// backendsOp is the POST /admin/backends payload: one membership operation.
+type backendsOp struct {
+	// Op is one of "join", "leave", "drain", "restore".
+	Op  string `json:"op"`
+	URL string `json:"url"`
+}
+
+// handleBackends is the membership admin endpoint. GET lists the fleet
+// (same rows as /debug/stats); POST applies one join/leave/drain/restore.
+// Like /debug/stats it is unauthenticated — bind the router to a trusted
+// network, not the public internet.
+func (rt *Router) handleBackends(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, rt.Stats().Replicas)
+	case http.MethodPost:
+		var op backendsOp
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read request body: "+err.Error())
+			return
+		}
+		if err := json.Unmarshal(body, &op); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		switch op.Op {
+		case "join":
+			err = rt.Join(op.URL)
+		case "leave":
+			err = rt.Leave(op.URL)
+		case "drain":
+			err = rt.Drain(op.URL)
+		case "restore":
+			err = rt.Restore(op.URL)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q (want join, leave, drain, or restore)", op.Op))
+			return
+		}
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "unknown replica") {
+				status = http.StatusNotFound
+			} else if strings.Contains(err.Error(), "already a member") {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Op       string         `json:"op"`
+			URL      string         `json:"url"`
+			Replicas []ReplicaStats `json:"replicas"`
+		}{op.Op, trimSlash(op.URL), rt.Stats().Replicas})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
 }
 
 // ReplicaStats is one backend's row in the router's /debug/stats.
@@ -457,9 +726,9 @@ type RouterStats struct {
 // Stats snapshots the router counters.
 func (rt *Router) Stats() RouterStats {
 	ringNow := rt.ring.Load()
-	onRing := map[int]bool{}
-	for _, idx := range ringNow.members() {
-		onRing[idx] = true
+	onRing := map[*replica]bool{}
+	for _, rep := range ringNow.members() {
+		onRing[rep] = true
 	}
 	out := RouterStats{
 		UptimeS:    time.Since(rt.start).Seconds(),
@@ -467,12 +736,12 @@ func (rt *Router) Stats() RouterStats {
 		Unroutable: rt.unroutble.Load(),
 		RingSlots:  len(ringNow.slots),
 	}
-	for i, rep := range rt.replicas {
+	for _, rep := range rt.table() {
 		out.Replicas = append(out.Replicas, ReplicaStats{
 			URL:      rep.url,
 			Healthy:  rep.healthy.Load(),
 			Draining: rep.draining.Load(),
-			OnRing:   onRing[i],
+			OnRing:   onRing[rep],
 			Inflight: rep.inflight.Load(),
 			Requests: rep.requests.Load(),
 			Errors:   rep.errors.Load(),

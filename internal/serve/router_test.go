@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -154,6 +159,8 @@ func TestRouterEndToEndBitIdentical(t *testing.T) {
 
 // TestRouterShardAffinity: every repetition of one (model, seed) must land on
 // the same replica — the warm-cache locality the ring exists to preserve.
+// Attribution comes from the X-TN-Replica response header, per request, not
+// from stats deltas: the header names exactly who answered each probe.
 func TestRouterShardAffinity(t *testing.T) {
 	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
 	f := newFleet(t, 3, nets, Config{}, RouterConfig{})
@@ -163,35 +170,30 @@ func TestRouterShardAffinity(t *testing.T) {
 		x[i] = 0.25
 	}
 	const reps = 10
+	var owner string
 	for i := 0; i < reps; i++ {
 		resp, _, raw := postClassify(t, f.front.Client(), f.front.URL,
 			ClassifyRequest{Model: "m", Seed: 42, Input: x})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("rep %d: status %d: %s", i, resp.StatusCode, raw)
 		}
-	}
-	st := f.router.Stats()
-	owners := 0
-	for _, rep := range st.Replicas {
-		switch rep.Requests {
-		case 0:
-		case reps:
-			owners++
-		default:
-			t.Fatalf("replica %s saw %d of %d requests — one (model, seed) split across replicas: %+v",
-				rep.URL, rep.Requests, reps, st.Replicas)
+		answeredBy := resp.Header.Get(ReplicaHeader)
+		if answeredBy == "" {
+			t.Fatalf("rep %d: response carries no %s header", i, ReplicaHeader)
 		}
-	}
-	if owners != 1 {
-		t.Fatalf("%d owners for one shard key, want exactly 1: %+v", owners, st.Replicas)
+		if owner == "" {
+			owner = answeredBy
+		} else if answeredBy != owner {
+			t.Fatalf("rep %d: answered by %s, earlier reps by %s — one (model, seed) split across replicas",
+				i, answeredBy, owner)
+		}
 	}
 	// The owner's sampled-copy cache proves it: 1 miss, reps-1 hits.
-	for _, srv := range f.servers {
-		s := srv.Stats()
-		m := s.Models["m"]
-		if m.Requests == 0 {
+	for i, srv := range f.servers {
+		if f.backends[i].URL != owner {
 			continue
 		}
+		m := srv.Stats().Models["m"]
 		if m.SampleCacheMisses != 1 || m.SampleCacheHits != int64(reps-1) {
 			t.Fatalf("owner cache stats %+v, want 1 miss / %d hits", m, reps-1)
 		}
@@ -507,6 +509,261 @@ func TestRouterParityCheckAndModels(t *testing.T) {
 	if len(st.Replicas) != 3 || st.RingSlots != 3*DefaultVnodes {
 		t.Fatalf("router stats %+v, want 3 replicas and %d slots", st, 3*DefaultVnodes)
 	}
+}
+
+// addBackend boots one more replica serving nets and hooks it into the
+// fleet's cleanup. It is not joined to any router — tests do that explicitly
+// to exercise dynamic membership.
+func addBackend(t *testing.T, f *fleet, nets map[string]*nn.Network, cfg Config) string {
+	t.Helper()
+	reg := NewRegistry()
+	for name, net := range nets {
+		if _, err := reg.Register(name, net, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(reg, cfg)
+	gate := &healthGate{inner: srv.Handler()}
+	ts := httptest.NewServer(gate)
+	f.servers = append(f.servers, srv)
+	f.backends = append(f.backends, ts)
+	f.health = append(f.health, gate)
+	return ts.URL
+}
+
+// TestRouterJoinAndLeave: a runtime join hands the newcomer only its own
+// share of the keyspace (every moved key moves TO the joiner, nobody else
+// reshuffles), a leave drains it and restores exactly the pre-join
+// assignment, and responses stay correct throughout. Ownership is read from
+// the X-TN-Replica header per request.
+func TestRouterJoinAndLeave(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 2, nets, Config{}, RouterConfig{})
+	newcomer := addBackend(t, f, nets, Config{})
+
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = 0.5
+	}
+	const seeds = 64
+	want := make([]int, seeds)
+	for s := range want {
+		want[s] = directResults(t, nets["m"], uint64(s), [][]float64{x}, 1)[0].Class
+	}
+	post := func(s int) string {
+		t.Helper()
+		resp, got, raw := postClassify(t, f.front.Client(), f.front.URL,
+			ClassifyRequest{Model: "m", Seed: uint64(s), Input: x})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", s, resp.StatusCode, raw)
+		}
+		if got.Results[0].Class != want[s] {
+			t.Fatalf("seed %d: class %d, offline %d", s, got.Results[0].Class, want[s])
+		}
+		return resp.Header.Get(ReplicaHeader)
+	}
+	ownerBefore := make([]string, seeds)
+	for s := 0; s < seeds; s++ {
+		ownerBefore[s] = post(s)
+	}
+
+	if err := f.router.Join(newcomer); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.router.Backends(); len(got) != 3 {
+		t.Fatalf("membership after join = %v, want 3 replicas", got)
+	}
+	if err := f.router.Join(newcomer); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+
+	moved := 0
+	for s := 0; s < seeds; s++ {
+		after := post(s)
+		if after == ownerBefore[s] {
+			continue
+		}
+		if after != newcomer {
+			t.Fatalf("seed %d moved from %s to %s — a join must move keys only to the joiner",
+				s, ownerBefore[s], after)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatalf("joiner owns none of %d keys — the join is invisible", seeds)
+	}
+	if moved > seeds/2 {
+		t.Fatalf("join moved %d of %d keys — far more than one replica's fair share", moved, seeds)
+	}
+
+	// Leave = drain + remove: gone from membership, keys exactly where they
+	// were before the join (consistent hashing is history-free).
+	if err := f.router.Leave(newcomer); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.router.Backends(); len(got) != 2 {
+		t.Fatalf("membership after leave = %v, want 2 replicas", got)
+	}
+	for s := 0; s < seeds; s++ {
+		if after := post(s); after != ownerBefore[s] {
+			t.Fatalf("seed %d owned by %s after leave, %s before join — leave must restore the original assignment",
+				s, after, ownerBefore[s])
+		}
+	}
+	if err := f.router.Leave(newcomer); err == nil {
+		t.Fatal("leaving a non-member accepted")
+	}
+}
+
+// TestRouterAdminBackends: the HTTP face of membership. GET lists the fleet;
+// POST join/drain/restore/leave mutate it; the error paths map to statuses
+// an orchestration script can branch on (404 unknown, 409 duplicate, 400
+// malformed).
+func TestRouterAdminBackends(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 2, nets, Config{}, RouterConfig{})
+	newcomer := addBackend(t, f, nets, Config{})
+
+	postOp := func(op, url string) (int, string) {
+		t.Helper()
+		body, err := json.Marshal(backendsOp{Op: op, URL: url})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := f.front.Client().Post(f.front.URL+"/admin/backends", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(raw)
+	}
+
+	resp, err := f.front.Client().Get(f.front.URL + "/admin/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []ReplicaStats
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed) != 2 {
+		t.Fatalf("GET /admin/backends listed %d replicas, want 2: %+v", len(listed), listed)
+	}
+
+	if code, raw := postOp("join", newcomer); code != http.StatusOK {
+		t.Fatalf("join: status %d: %s", code, raw)
+	}
+	if got := f.router.Backends(); len(got) != 3 {
+		t.Fatalf("membership after admin join = %v", got)
+	}
+	if code, raw := postOp("join", newcomer); code != http.StatusConflict {
+		t.Fatalf("duplicate join: status %d, want 409: %s", code, raw)
+	}
+	if code, raw := postOp("leave", "http://nobody.invalid:1"); code != http.StatusNotFound {
+		t.Fatalf("leave unknown: status %d, want 404: %s", code, raw)
+	}
+	if code, raw := postOp("explode", newcomer); code != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want 400: %s", code, raw)
+	}
+
+	if code, raw := postOp("drain", newcomer); code != http.StatusOK {
+		t.Fatalf("drain: status %d: %s", code, raw)
+	}
+	if rep := statsFor(f.router.Stats(), newcomer); !rep.Draining || rep.OnRing {
+		t.Fatalf("after admin drain: %+v, want draining and off ring", rep)
+	}
+	if code, raw := postOp("restore", newcomer); code != http.StatusOK {
+		t.Fatalf("restore: status %d: %s", code, raw)
+	}
+	if rep := statsFor(f.router.Stats(), newcomer); rep.Draining || !rep.OnRing {
+		t.Fatalf("after admin restore: %+v, want routable", rep)
+	}
+	if code, raw := postOp("leave", newcomer); code != http.StatusOK {
+		t.Fatalf("leave: status %d: %s", code, raw)
+	}
+	if got := f.router.Backends(); len(got) != 2 {
+		t.Fatalf("membership after admin leave = %v", got)
+	}
+
+	req, err := http.NewRequest(http.MethodPut, f.front.URL+"/admin/backends", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := f.front.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /admin/backends: status %d, want 405", putResp.StatusCode)
+	}
+}
+
+// TestRouterBackendsFileWatch: the watched membership file is the
+// declarative fleet spec — appending a URL joins a replica, deleting its
+// line drains and removes it, and a truncated (empty) file never empties the
+// fleet.
+func TestRouterBackendsFileWatch(t *testing.T) {
+	nets := map[string]*nn.Network{"m": testNet(t, 7, 12, 6, 2)}
+	f := newFleet(t, 1, nets, Config{}, RouterConfig{})
+	b2 := addBackend(t, f, nets, Config{})
+
+	file := filepath.Join(t.TempDir(), "backends.txt")
+	write := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(file, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(f.backends[0].URL + "\n")
+	rt, err := NewRouter([]string{f.backends[0].URL},
+		RouterConfig{HealthInterval: -1, BackendsFile: file, WatchInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	waitFor := func(want ...string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got := rt.Backends()
+			if len(got) == len(want) {
+				same := true
+				for i := range got {
+					if got[i] != want[i] {
+						same = false
+					}
+				}
+				if same {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("membership never converged to %v (got %v)", want, rt.Backends())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	both := []string{f.backends[0].URL, b2}
+	sort.Strings(both)
+
+	// Appending a line (with a comment) joins the new replica.
+	write(f.backends[0].URL + "\n" + b2 + " # canary\n")
+	waitFor(both...)
+
+	// A truncated write mid-update must not drain every replica.
+	write("")
+	time.Sleep(50 * time.Millisecond)
+	if got := rt.Backends(); len(got) != 2 {
+		t.Fatalf("empty backends file emptied the fleet: %v", got)
+	}
+
+	// Removing the original's line leaves it.
+	write(b2 + "\n")
+	waitFor(b2)
 }
 
 // TestRouterRejectsBadFleet: constructor errors for empty and duplicate

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -70,6 +71,10 @@ type Config struct {
 	// RetryAfterS is the Retry-After hint, in seconds, sent with shed (429)
 	// responses (default 1).
 	RetryAfterS int
+	// SnapshotPath is the default target of POST /admin/snapshot (and, in
+	// tnserve, the file written on drain and restored on boot). Empty
+	// disables the default — the endpoint then requires an explicit path.
+	SnapshotPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +220,7 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/debug/stats", s.handleStats)
+	s.mux.HandleFunc("/admin/snapshot", s.handleSnapshot)
 	return s
 }
 
@@ -505,6 +511,50 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// snapshotRequest is the optional POST /admin/snapshot payload.
+type snapshotRequest struct {
+	// Path overrides the server's configured snapshot path for this write.
+	Path string `json:"path,omitempty"`
+}
+
+// handleSnapshot writes a registry snapshot on demand — the operator's
+// pre-restart step in the rolling-restart runbook (the drain path of tnserve
+// also writes one automatically when -snapshot-file is set). Like
+// /debug/stats it is unauthenticated; bind workers to a trusted network.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req snapshotRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = s.cfg.SnapshotPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest,
+			`no snapshot path: send {"path": ...} or start the server with -snapshot-file`)
+		return
+	}
+	info, err := s.reg.WriteSnapshotFile(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
