@@ -18,6 +18,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/rng"
 	"repro/internal/truenorth"
 )
@@ -33,6 +34,7 @@ func main() {
 		frames    = flag.Int("frames", 50, "test frames to run through the chip")
 		workers   = flag.Int("workers", 1, "worker goroutines, each simulating a private chip (0 = GOMAXPROCS; stochastic leak draws then depend on worker count, so the default stays single-threaded for bit-reproducible output)")
 		dense     = flag.Bool("dense", false, "force the dense reference simulator (TickDense) instead of the event-driven tick; results are bit-identical, only speed differs")
+		faultSpec = flag.String("fault", "", "inject a fault spec (internal/fault syntax, e.g. 'seed=7,dead=0.25,drop=0.1,drift=0.5'); fault draws depend only on the spec and copy index, so any tnrepro sweep point's fault realization reproduces here")
 		deviation = flag.String("deviation", "", "write a deviation PGM of layer0/core0 and exit")
 	)
 	flag.Parse()
@@ -77,15 +79,33 @@ func main() {
 	// inference engine on the cycle-accurate chip path: every worker
 	// simulates a private chip ensemble, and class spike counts sum across
 	// copies before each decision.
+	var fcfg fault.Config
+	if *faultSpec != "" {
+		if fcfg, err = fault.ParseSpec(*faultSpec); err != nil {
+			fatal(err)
+		}
+	}
 	root := rng.NewPCG32(*seed, 7)
-	plan := deploy.CompileQuant(m.Net)
 	nets := make([]*deploy.SampledNet, *copies)
 	for c := range nets {
+		// Copy c's plan is compiled through the analog fault models with copy
+		// salt c; a spec with no analog noise compiles to exactly
+		// deploy.CompileQuant's plan.
+		plan, err := fault.AnalogPlan(fcfg, m.Net, c)
+		if err != nil {
+			fatal(err)
+		}
 		nets[c] = plan.Sample(root.Split(uint64(c)), deploy.DefaultSampleConfig())
 	}
 	cp, err := deploy.NewChipPredictor(nets, deploy.MapSigned, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *faultSpec != "" {
+		if err := cp.SetFaults(fault.ChipHook(fcfg)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("faults: %s\n", fcfg.String())
 	}
 	cp.Dense = *dense
 	fmt.Printf("model %s/%s: %d copies -> %d cores (%.1f%% of one %d-core chip)\n",

@@ -9,7 +9,7 @@
 //
 // Experiments: table1, section31, l1sparsity, fig4, fig5, fig7 (includes
 // fig8), table2a, table2b, fig9a, fig9b, table3, chipscale, earlyexit,
-// ablations, all.
+// ablations, faults, all.
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -45,7 +46,8 @@ func run() (code int) {
 		epochs     = flag.Int("epochs", 0, "override training epochs")
 		repeats    = flag.Int("repeats", 0, "override deployment repeats")
 		batch      = flag.Int("batch", 0, "override SGD minibatch size (default 32)")
-		conf       = flag.Float64("conf", 0, "earlyexit: sweep only {0, conf} instead of the default threshold ladder")
+		conf       = flag.Float64("conf", 0, "earlyexit/faults: sweep only {0, conf} instead of the default threshold ladder")
+		faultSpec  = flag.String("fault", "", "faults: replace the default sweep grid with this single fault spec (e.g. 'dead=0.25,drop=0.1' or 'drift=0.5,dacbits=4')")
 		trainOnly  = flag.Bool("trainonly", false, "train the selected experiments' models, then exit before any deployment evaluation (so -cpuprofile/-memprofile capture the SGD loop alone)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -94,7 +96,7 @@ func run() (code int) {
 	opt := eval.Options{
 		Quick: *quick, Seed: *seed, Workers: *workers, OutDir: *outDir,
 		TrainN: *trainN, TestN: *testN, EpochsN: *epochs, RepeatsN: *repeats,
-		BatchN: *batch, Conf: *conf,
+		BatchN: *batch, Conf: *conf, FaultSpec: *faultSpec,
 		Ctx: ctx,
 	}
 	if *outDir != "" {
@@ -111,7 +113,7 @@ func run() (code int) {
 	ids := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		ids = []string{"table1", "section31", "l1sparsity", "fig5", "fig4",
-			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "chipscale", "earlyexit", "ablations"}
+			"fig7", "table2a", "table2b", "fig9a", "fig9b", "table3", "chipscale", "earlyexit", "ablations", "faults"}
 	}
 	start := time.Now()
 	if *trainOnly {
@@ -236,6 +238,27 @@ func runExperiment(r *eval.Runner, id string, getFig7 func() (*eval.Fig7Result, 
 			return err
 		}
 		fmt.Println(eval.RenderEarlyExit(ee))
+	case "faults":
+		f, err := eval.Faults(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFaults(f))
+		if opt.OutDir != "" {
+			path := filepath.Join(opt.OutDir, "BENCH_FAULTS.json")
+			rec, err := eval.LoadBenchRecord(path)
+			if err != nil {
+				return err
+			}
+			rec.PR = 9
+			rec.Title = "Deterministic fault injection + graceful-degradation sweep"
+			rec.Machine = eval.Machine()
+			rec.Command = "tnrepro -exp faults -out <dir>"
+			rec.Set("faults", f)
+			if err := rec.Write(path); err != nil {
+				return err
+			}
+		}
 	case "ablations":
 		sig, err := eval.AblationSigma(r)
 		if err != nil {

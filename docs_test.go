@@ -155,6 +155,12 @@ func TestDocsCoreFilesExist(t *testing.T) {
 		"internal/serve/router_test.go",
 		"internal/serve/snapshot_test.go",
 		"internal/serve/chaos_test.go",
+		"internal/truenorth/faults.go",
+		"internal/fault/fault.go",
+		"internal/fault/chip.go",
+		"internal/fault/analog.go",
+		"internal/fault/fault_test.go",
+		"internal/fault/fuzz_test.go",
 	} {
 		if !strings.Contains(string(det), src) {
 			t.Errorf("docs/DETERMINISM.md does not reference %s", src)
@@ -177,8 +183,8 @@ func TestDocsNoStaleFileReferences(t *testing.T) {
 		}
 		for _, m := range pathRef.FindAllStringSubmatch(string(raw), -1) {
 			ref := m[1]
-			if ref == "BENCH_CI.json" {
-				continue // CI artifact, produced by the workflow, not committed
+			if ref == "BENCH_CI.json" || ref == "BENCH_FAULTS.json" {
+				continue // CI artifacts, produced by the workflow, not committed
 			}
 			if _, err := os.Stat(ref); err != nil {
 				t.Errorf("%s: references %s which does not exist", file, ref)
@@ -212,7 +218,7 @@ func TestDocsExperimentIndexMatchesRepro(t *testing.T) {
 	}
 	// Ids whose index rows have already paid for benchmark artifacts must stay
 	// listed — a table rewrite that drops them would orphan BENCH_5/BENCH_6.
-	for _, id := range []string{"chipscale", "earlyexit"} {
+	for _, id := range []string{"chipscale", "earlyexit", "faults"} {
 		if !documented[id] {
 			t.Errorf("experiment index is missing the %q row", id)
 		}

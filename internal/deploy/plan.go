@@ -85,22 +85,44 @@ type planCore struct {
 	gather []truenorth.BlitRun
 }
 
+// WeightPerturber rewrites one trained weight at plan-compile time. It is the
+// deploy-side seam the analog fault models plug into (internal/fault):
+// conductance drift, read noise, and DAC/ADC quantization are all per-weight
+// transfer functions applied before Bernoulli quantization. A perturber MUST
+// be a pure function of its arguments — CompileQuantPerturbed invokes it in
+// both the counting and the fill pass, and determinism of the compiled plan
+// (hence of every sampled copy) rests on the two passes agreeing.
+type WeightPerturber func(layer, core, neuron, axon int, w float64) float64
+
 // CompileQuant compiles net into its fixed-point deployment plan.
 func CompileQuant(net *nn.Network) *QuantPlan {
+	return CompileQuantPerturbed(net, nil)
+}
+
+// CompileQuantPerturbed compiles net with every trained weight passed through
+// perturb first (nil behaves exactly like CompileQuant — same code path, so a
+// zero-noise fault config is bit-identical to the unfaulted plan by
+// construction). Biases and thresholds are not perturbed: TrueNorth leak
+// registers are digital, only the synaptic conductances live on the analog
+// substrate.
+func CompileQuantPerturbed(net *nn.Network, perturb WeightPerturber) *QuantPlan {
 	cmax := net.CMax
 	qp := &QuantPlan{cmax: int32(math.Round(cmax))}
 	if qp.cmax < 1 {
 		qp.cmax = 1
 	}
-	for _, l := range net.Layers {
+	for li, l := range net.Layers {
 		pl := &planLayer{inDim: l.InDim}
-		for _, c := range l.Cores {
+		for ci, c := range l.Cores {
 			n := c.Neurons()
 			// Count entries per category first so the flat arrays allocate
 			// exactly once.
 			nSyn, nFix := 0, 0
 			for j := 0; j < n; j++ {
-				for _, w := range c.W.Row(j) {
+				for i, w := range c.W.Row(j) {
+					if perturb != nil {
+						w = perturb(li, ci, j, i, w)
+					}
 					switch p, _ := Quantize(w, cmax); {
 					case p <= 0:
 					case p >= 1:
@@ -131,7 +153,11 @@ func CompileQuant(net *nn.Network) *QuantPlan {
 			for j := 0; j < n; j++ {
 				row := c.W.Row(j)
 				for i := range row {
-					p, positive := Quantize(row[i], cmax)
+					w := row[i]
+					if perturb != nil {
+						w = perturb(li, ci, j, i, w)
+					}
+					p, positive := Quantize(w, cmax)
 					enc := int32(i) << 1
 					if positive {
 						enc |= 1

@@ -84,6 +84,9 @@ type ChipPredictor struct {
 	// first holds the validation build so the first scratch costs nothing
 	// extra.
 	first atomic.Pointer[[]*ChipNet]
+	// faults, when set, is applied to every freshly built chip copy
+	// (SetFaults), so each worker scratch carries an identical fault plan.
+	faults func(copy int, cn *ChipNet) error
 
 	ticks, spikes, synEvents atomic.Int64
 }
@@ -122,9 +125,33 @@ func (p *ChipPredictor) build() ([]*ChipNet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("deploy: chip predictor copy %d: %w", c, err)
 		}
+		if p.faults != nil {
+			if err := p.faults(c, cn); err != nil {
+				return nil, fmt.Errorf("deploy: chip predictor copy %d faults: %w", c, err)
+			}
+		}
 		out[c] = cn
 	}
 	return out, nil
+}
+
+// SetFaults installs a hook run on every built chip copy — the seam the
+// hardware fault models compose through (internal/fault.ChipHook). The hook
+// mutates the copy's chip in place (crossbar rewrites, CoreFaults plans) and
+// must be deterministic per copy index: each worker scratch is an independent
+// build, and all of them must carry bit-identical fault plans. SetFaults is a
+// construction-time call — install faults before handing the predictor to an
+// engine; it is not safe concurrently with Frame. Passing nil removes the
+// hook. The existing validation build is discarded and rebuilt through the
+// hook so the very first scratch is faulted too.
+func (p *ChipPredictor) SetFaults(hook func(copy int, cn *ChipNet) error) error {
+	p.faults = hook
+	built, err := p.build()
+	if err != nil {
+		return err
+	}
+	p.first.Store(&built)
+	return nil
 }
 
 // Classes implements engine.Predictor.

@@ -108,6 +108,10 @@ type Options struct {
 	// Conf, when in (0,1], narrows the earlyexit experiment's confidence
 	// sweep to {0, Conf} (exact reference plus one gated point).
 	Conf float64
+	// FaultSpec, when non-empty, replaces the faults experiment's default
+	// sweep grid with this single fault spec (internal/fault.ParseSpec
+	// syntax), evaluated against its own zero-fault reference point.
+	FaultSpec string
 	// Ctx, when non-nil, cancels in-flight deployment evaluations (the
 	// engine checks it between frames).
 	Ctx context.Context

@@ -48,7 +48,7 @@ func Pretrain(r *Runner, id string) error {
 		return models([]int{1}, "none", "biased")
 	case "fig5":
 		return models([]int{1}, "none", "l1", "biased")
-	case "fig7", "fig8", "table2a", "table2b", "fig9a", "ablations":
+	case "fig7", "fig8", "table2a", "table2b", "fig9a", "ablations", "faults":
 		return models([]int{1}, "none", "biased")
 	case "fig9b", "table3":
 		return models(allBenches, "none", "biased")

@@ -269,6 +269,38 @@ func RenderChipScale(c *ChipScaleResult) string {
 	return b.String()
 }
 
+// RenderFaults formats the graceful-degradation sweep.
+func RenderFaults(f *FaultsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Graceful degradation under injected faults (%s, %d spf, %d fast / %d chip items, fault seed %d):\n",
+		f.Bench.Name, f.SPF, f.Items, f.ChipItems, f.FaultSeed)
+	fmt.Fprintf(&b, "  %-4s %-6s %-7s %-6s %-5s  %s\n",
+		"path", "model", "penalty", "copies", "exact", "level:accuracy")
+	for _, c := range f.Curves {
+		exact := "yes"
+		if !c.ZeroFaultExact {
+			exact = "NO"
+		}
+		fmt.Fprintf(&b, "  %-4s %-6s %-7s %-6d %-5s  %s\n",
+			c.Path, c.Model, c.Penalty, c.Copies, exact, renderCurvePoints(c.Points))
+	}
+	if len(f.Gates) > 0 {
+		fmt.Fprintf(&b, "Confidence gate on a noisy substrate (biased, %d copies):\n", f.Gates[0].Copies)
+		fmt.Fprintf(&b, "  %-24s %6s %9s %11s %10s\n", "spec", "conf", "accuracy", "mean-copies", "exit-rate")
+		for _, g := range f.Gates {
+			spec := g.Spec
+			if spec == "" {
+				spec = "(clean)"
+			}
+			for _, p := range g.Points {
+				fmt.Fprintf(&b, "  %-24s %6.2f %9.4f %11.2f %10.2f\n",
+					spec, p.Conf, p.Accuracy, p.MeanCopies, p.EarlyExitRate)
+			}
+		}
+	}
+	return b.String()
+}
+
 // RenderEarlyExit formats the confidence-gated ensemble sweep.
 func RenderEarlyExit(r *EarlyExitResult) string {
 	var b strings.Builder

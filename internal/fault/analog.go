@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"math"
+
+	"repro/internal/deploy"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// analogStream is the PCG32 stream id of every per-weight analog-noise
+// generator; independence across weights comes from the per-weight seed.
+const analogStream = 0xA_0000
+
+// AnalogPlan compiles net into a deployment plan with cfg's analog
+// substrate-noise models applied to every trained weight, in physical order:
+// multiplicative lognormal conductance drift (exp(sigma*N - sigma^2/2),
+// mean-preserving), additive read noise (Read*CMax*N), then DAC quantization
+// of the programming level |w|/CMax onto 2^DACBits - 1 uniform levels. copy
+// salts the draws so each ensemble copy sees an independent noise
+// realization, mirroring ApplyChip's per-copy salting.
+//
+// Each weight draws from its own PCG32 stream, seeded purely from
+// (cfg.Seed, copy, layer, core, neuron, axon) — never from an inference or
+// sampling stream — so the noisy plan is reproducible from its spec alone. A
+// config with no analog noise returns exactly deploy.CompileQuant(net): the
+// zero-fault path is bit-identical to the unfaulted one by construction.
+func AnalogPlan(cfg Config, net *nn.Network, copy int) (*deploy.QuantPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.HasAnalog() {
+		return deploy.CompileQuant(net), nil
+	}
+	cmax := net.CMax
+	base := mixSeed(cfg.Seed, uint64(copy)+0xA7A106)
+	sigma := cfg.Drift
+	levels := float64(uint(1)<<uint(cfg.DACBits) - 1)
+	perturb := func(layer, core, neuron, axon int, w float64) float64 {
+		s := base
+		for _, coord := range [4]int{layer, core, neuron, axon} {
+			s = rng.SplitMix64(s ^ uint64(coord))
+		}
+		var src rng.PCG32
+		src.Seed(s, analogStream)
+		if sigma > 0 {
+			w *= math.Exp(sigma*rng.Normal(&src) - sigma*sigma/2)
+		}
+		if cfg.Read > 0 {
+			w += cfg.Read * cmax * rng.Normal(&src)
+		}
+		if cfg.DACBits > 0 {
+			p := math.Abs(w) / cmax
+			if p > 1 {
+				p = 1
+			}
+			q := math.Round(p*levels) / levels * cmax
+			if w < 0 {
+				q = -q
+			}
+			w = q
+		}
+		return w
+	}
+	return deploy.CompileQuantPerturbed(net, perturb), nil
+}

@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/rng"
+	"repro/internal/truenorth"
+)
+
+// Per-core fault streams. Each (fault model, core) pair owns its own PCG32
+// stream seeded from the mixed fault seed, so the draws of one model never
+// shift another's (enabling stuck-at-0 faults cannot change which cores die),
+// and injection order is irrelevant.
+const (
+	streamDead   = 0x1_0000
+	streamStuck0 = 0x2_0000
+	streamStuck1 = 0x3_0000
+	streamNeuron = 0x4_0000
+)
+
+// mixSeed folds an injection salt (e.g. the ensemble copy index) into the
+// config seed so every chip copy realizes independent faults of the same
+// statistical model.
+func mixSeed(seed, salt uint64) uint64 {
+	return rng.SplitMix64(seed ^ rng.SplitMix64(salt+0x5eed))
+}
+
+// ApplyChip injects cfg's chip-path faults into ch, mutating crossbars
+// (stuck synapses) and installing per-core fault plans (dead cores, stuck
+// neurons, delivery drops). salt distinguishes otherwise identical chips (the
+// copy index of an ensemble). A config with no chip faults leaves ch
+// untouched. Structural draws happen here, once; transient drop draws happen
+// at tick time from streams the chip re-derives from the same mixed seed
+// (Chip.SetFaultSeed), so the full fault realization is a pure function of
+// (cfg, salt) and the chip's core layout.
+//
+// Stuck-at-1 rewires through weight-table entry 0 or 1 with a random sign
+// draw, matching the deployment convention (entry 0 = +CMax, entry 1 = -CMax).
+func ApplyChip(cfg Config, ch *truenorth.Chip, salt uint64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if !cfg.HasChipFaults() {
+		return nil
+	}
+	mixed := mixSeed(cfg.Seed, salt)
+	dead := make([]bool, ch.NumCores())
+	for _, i := range cfg.DeadCores {
+		if i >= len(dead) {
+			return fmt.Errorf("fault: dead core index %d out of range (chip has %d cores)", i, len(dead))
+		}
+		dead[i] = true
+	}
+	var src rng.PCG32
+	for i := 0; i < ch.NumCores(); i++ {
+		core := ch.Core(i)
+		if cfg.DeadCore > 0 {
+			src.Seed(mixed, streamDead+uint64(i))
+			if rng.Bernoulli(&src, cfg.DeadCore) {
+				dead[i] = true
+			}
+		}
+		if dead[i] {
+			// A dead core's output is fully suppressed; its synapse and
+			// neuron draws are skipped (their streams are private per core,
+			// so skipping shifts nothing elsewhere).
+			all := truenorth.NewBitVec(core.Neurons)
+			for j := 0; j < core.Neurons; j++ {
+				all.Set(j)
+			}
+			if err := ch.SetCoreFaults(i, truenorth.CoreFaults{Suppress: all}); err != nil {
+				return err
+			}
+			continue
+		}
+		if cfg.Stuck0 > 0 {
+			src.Seed(mixed, streamStuck0+uint64(i))
+			for j := 0; j < core.Neurons; j++ {
+				for t := 0; t < truenorth.NumAxonTypes; t++ {
+					for a := 0; a < core.Axons; a++ {
+						if core.Connected(a, j, t) && rng.Bernoulli(&src, cfg.Stuck0) {
+							core.Disconnect(a, j, t)
+						}
+					}
+				}
+			}
+		}
+		if cfg.Stuck1 > 0 {
+			src.Seed(mixed, streamStuck1+uint64(i))
+			for j := 0; j < core.Neurons; j++ {
+				for a := 0; a < core.Axons; a++ {
+					if !rng.Bernoulli(&src, cfg.Stuck1) {
+						continue
+					}
+					for t := 0; t < truenorth.NumAxonTypes; t++ {
+						if core.Connected(a, j, t) {
+							core.Disconnect(a, j, t)
+						}
+					}
+					core.Connect(a, j, int(src.Uint32()&1))
+				}
+			}
+		}
+		var f truenorth.CoreFaults
+		if cfg.Silent > 0 || cfg.Fire > 0 {
+			src.Seed(mixed, streamNeuron+uint64(i))
+			f.Suppress = truenorth.NewBitVec(core.Neurons)
+			f.ForceFire = truenorth.NewBitVec(core.Neurons)
+			for j := 0; j < core.Neurons; j++ {
+				if rng.Bernoulli(&src, cfg.Silent) {
+					f.Suppress.Set(j)
+				}
+				if rng.Bernoulli(&src, cfg.Fire) {
+					f.ForceFire.Set(j)
+				}
+			}
+		}
+		f.Drop = cfg.Drop
+		if err := ch.SetCoreFaults(i, f); err != nil {
+			return err
+		}
+	}
+	ch.SetFaultSeed(mixed)
+	return nil
+}
+
+// ChipHook adapts cfg into the per-copy hook deploy.ChipPredictor.SetFaults
+// (and tnchip's single-chip path) consume: copy k realizes the fault draws of
+// salt k.
+func ChipHook(cfg Config) func(copy int, cn *deploy.ChipNet) error {
+	return func(copy int, cn *deploy.ChipNet) error {
+		return ApplyChip(cfg, cn.Chip, uint64(copy))
+	}
+}

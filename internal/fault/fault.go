@@ -1,0 +1,248 @@
+// Package fault is the deterministic fault-injection layer of the
+// reproduction: seeded hardware-fault models for the cycle-accurate chip path
+// (dead cores, stuck synapses, stuck neurons, transient delivery drops —
+// internal/truenorth) and analog substrate-noise models for the fast path
+// (per-weight conductance drift, read noise, quantized DAC/ADC transfer in
+// the style of Le Gallo et al.'s PCM chip — internal/deploy). Both families
+// compose over the engine.Predictor seam, so any experiment or server can run
+// on an injured substrate without code changes.
+//
+// Every fault draw comes from a dedicated rng.PCG32 stream split per
+// (core|weight, fault model, fault seed), never from an inference stream:
+// faulted and unfaulted runs consume identical inference randomness, any
+// sweep point is reproducible from its (model, faultSeed, spec) triple alone,
+// and a zero-fault Config is bit-identical to the unfaulted path. This is the
+// seventh determinism contract (docs/DETERMINISM.md "Fault injection").
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Config is one point of the fault space. The zero value injects nothing and
+// is required to be bit-identical to running without this package at all.
+//
+// Chip-path fields (rates are probabilities in [0, 1]):
+//
+//   - DeadCore: per-core probability that a core is dead (all output
+//     suppressed), plus DeadCores naming specific cores deterministically.
+//   - Stuck0: per connected synapse, probability the synapse reads as
+//     disconnected (stuck-at-0).
+//   - Stuck1: per (axon, neuron) crossbar point, probability the synapse is
+//     stuck connected through a uniformly random sign entry (stuck-at-1).
+//   - Silent / Fire: per-neuron probabilities of stuck-silent and
+//     stuck-at-fire output faults (silent wins when both hit one neuron).
+//   - Drop: per spike per tick, probability the spike is lost in transport.
+//
+// Fast-path (analog substrate) fields:
+//
+//   - Drift: lognormal conductance-drift sigma; each weight is scaled by
+//     exp(sigma*N - sigma^2/2), a mean-preserving multiplicative drift.
+//   - Read: additive Gaussian read noise with standard deviation Read*CMax.
+//   - DACBits: quantizes each weight's programming level |w|/CMax onto
+//     2^bits - 1 uniform levels (0 disables).
+type Config struct {
+	// Seed derives every fault stream. Two configs differing only in Seed
+	// realize independent fault draws of the same statistical model.
+	Seed uint64
+
+	DeadCore  float64
+	DeadCores []int
+	Stuck0    float64
+	Stuck1    float64
+	Silent    float64
+	Fire      float64
+	Drop      float64
+
+	Drift   float64
+	Read    float64
+	DACBits int
+}
+
+// IsZero reports whether the config injects nothing (the Seed alone does not
+// make a config non-zero).
+func (c Config) IsZero() bool { return !c.HasChipFaults() && !c.HasAnalog() }
+
+// HasChipFaults reports whether any chip-path (hardware) fault model is
+// active.
+func (c Config) HasChipFaults() bool {
+	return c.DeadCore > 0 || len(c.DeadCores) > 0 || c.Stuck0 > 0 || c.Stuck1 > 0 ||
+		c.Silent > 0 || c.Fire > 0 || c.Drop > 0
+}
+
+// HasAnalog reports whether any fast-path (analog substrate) noise model is
+// active.
+func (c Config) HasAnalog() bool { return c.Drift > 0 || c.Read > 0 || c.DACBits > 0 }
+
+// Validate checks every field range. ParseSpec output always validates; the
+// checks exist for configs constructed in code.
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("fault: %s rate %v outside [0,1]", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"dead", c.DeadCore}, {"stuck0", c.Stuck0}, {"stuck1", c.Stuck1},
+		{"silent", c.Silent}, {"fire", c.Fire}, {"drop", c.Drop}} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	for _, m := range []struct {
+		name string
+		v    float64
+	}{{"drift", c.Drift}, {"read", c.Read}} {
+		if math.IsNaN(m.v) || math.IsInf(m.v, 0) || m.v < 0 {
+			return fmt.Errorf("fault: %s magnitude %v must be finite and non-negative", m.name, m.v)
+		}
+	}
+	if c.DACBits < 0 || c.DACBits > 16 {
+		return fmt.Errorf("fault: dacbits %d outside [0,16]", c.DACBits)
+	}
+	seen := map[int]bool{}
+	for _, i := range c.DeadCores {
+		if i < 0 {
+			return fmt.Errorf("fault: dead core index %d negative", i)
+		}
+		if seen[i] {
+			return fmt.Errorf("fault: dead core index %d listed twice", i)
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
+// ParseSpec parses a comma-separated key=value fault spec, e.g.
+// "seed=42,dead=0.05,drop=0.01" or "drift=0.3,dacbits=4". Keys: seed, dead,
+// deadcores (colon-separated core indices), stuck0, stuck1, silent, fire,
+// drop, drift, read, dacbits. The empty spec is the zero Config. Malformed
+// input — unknown or duplicate keys, rates outside [0,1], NaN/Inf, negative
+// magnitudes — is an error, never clamped.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Config{}, fmt.Errorf("fault: malformed entry %q (want key=value)", kv)
+		}
+		if seen[key] {
+			return Config{}, fmt.Errorf("fault: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 0, 64)
+		case "dead":
+			cfg.DeadCore, err = parseRate(key, val)
+		case "stuck0":
+			cfg.Stuck0, err = parseRate(key, val)
+		case "stuck1":
+			cfg.Stuck1, err = parseRate(key, val)
+		case "silent":
+			cfg.Silent, err = parseRate(key, val)
+		case "fire":
+			cfg.Fire, err = parseRate(key, val)
+		case "drop":
+			cfg.Drop, err = parseRate(key, val)
+		case "drift":
+			cfg.Drift, err = parseMagnitude(key, val)
+		case "read":
+			cfg.Read, err = parseMagnitude(key, val)
+		case "dacbits":
+			var b uint64
+			b, err = strconv.ParseUint(val, 10, 8)
+			if err == nil && b > 16 {
+				err = fmt.Errorf("fault: dacbits %d outside [0,16]", b)
+			}
+			cfg.DACBits = int(b)
+		case "deadcores":
+			cores := map[int]bool{}
+			for _, s := range strings.Split(val, ":") {
+				i, perr := strconv.Atoi(strings.TrimSpace(s))
+				if perr != nil || i < 0 {
+					return Config{}, fmt.Errorf("fault: bad dead core index %q", s)
+				}
+				if cores[i] {
+					return Config{}, fmt.Errorf("fault: dead core index %d listed twice", i)
+				}
+				cores[i] = true
+				cfg.DeadCores = append(cfg.DeadCores, i)
+			}
+		default:
+			return Config{}, fmt.Errorf("fault: unknown key %q", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("fault: key %q: %w", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseRate(key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", v)
+	}
+	return v, nil
+}
+
+func parseMagnitude(key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("magnitude %v must be finite and non-negative", v)
+	}
+	return v, nil
+}
+
+// String renders the config as a canonical spec that ParseSpec round-trips
+// exactly: ParseSpec(c.String()) == c for every valid c produced by ParseSpec.
+// Zero fields are omitted; the zero Config renders as "".
+func (c Config) String() string {
+	var parts []string
+	add := func(key string, v float64) {
+		if v != 0 {
+			parts = append(parts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	if c.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatUint(c.Seed, 10))
+	}
+	add("dead", c.DeadCore)
+	if len(c.DeadCores) > 0 {
+		s := make([]string, len(c.DeadCores))
+		for i, v := range c.DeadCores {
+			s[i] = strconv.Itoa(v)
+		}
+		parts = append(parts, "deadcores="+strings.Join(s, ":"))
+	}
+	add("stuck0", c.Stuck0)
+	add("stuck1", c.Stuck1)
+	add("silent", c.Silent)
+	add("fire", c.Fire)
+	add("drop", c.Drop)
+	add("drift", c.Drift)
+	add("read", c.Read)
+	if c.DACBits != 0 {
+		parts = append(parts, "dacbits="+strconv.Itoa(c.DACBits))
+	}
+	return strings.Join(parts, ",")
+}

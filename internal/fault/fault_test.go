@@ -1,0 +1,311 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestParseSpec(t *testing.T) {
+	good := map[string]Config{
+		"":            {},
+		"  ":          {},
+		"seed=42":     {Seed: 42},
+		"seed=0x10":   {Seed: 16},
+		"dead=0.25":   {DeadCore: 0.25},
+		"drop=1":      {Drop: 1},
+		"stuck0=0":    {},
+		"dacbits=16":  {DACBits: 16},
+		"drift=2.5":   {Drift: 2.5},
+		"deadcores=3": {DeadCores: []int{3}},
+		"seed=7, dead=0.1 ,deadcores=0:5:2,drift=0.3,dacbits=4": {
+			Seed: 7, DeadCore: 0.1, DeadCores: []int{0, 5, 2}, Drift: 0.3, DACBits: 4,
+		},
+	}
+	for spec, want := range good {
+		got, err := ParseSpec(spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", spec, got, want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("ParseSpec(%q).Validate(): %v", spec, err)
+		}
+	}
+	bad := []string{
+		"dead",            // no value
+		"dead=",           // empty value
+		"=0.5",            // empty key
+		"bogus=1",         // unknown key
+		"dead=0.5,dead=1", // duplicate key
+		"dead=1.5",        // rate above 1
+		"dead=-0.1",       // negative rate
+		"dead=NaN",
+		"drop=+Inf",
+		"drift=-1",
+		"drift=Inf",
+		"read=NaN",
+		"dacbits=17",
+		"dacbits=-1",
+		"dacbits=4.5",
+		"seed=abc",
+		"seed=-1",
+		"deadcores=",
+		"deadcores=1:1", // duplicate index
+		"deadcores=-2",
+		"deadcores=1:x",
+	}
+	for _, spec := range bad {
+		if cfg, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", spec, cfg)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"seed=42,dead=0.05,drop=0.01",
+		"deadcores=4:1:9,silent=0.125,fire=0.0625",
+		"stuck0=0.3,stuck1=1e-3",
+		"drift=0.3,read=0.05,dacbits=4",
+	} {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		back, err := ParseSpec(cfg.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q.String() = %q): %v", spec, cfg.String(), err)
+		}
+		if !reflect.DeepEqual(back, cfg) {
+			t.Errorf("round trip %q -> %q: %+v vs %+v", spec, cfg.String(), back, cfg)
+		}
+	}
+}
+
+// testNet builds a small two-layer trained-shape network for plan and chip
+// tests.
+func testNet(t *testing.T, seed uint64) *nn.Network {
+	t.Helper()
+	arch := &nn.Arch{
+		Name: "faulttest", InputH: 8, InputW: 8, Block: 4, Stride: 2,
+		CoreSize: 16, Classes: 2, Tau: 4,
+		Windows: []nn.Window{{Size: 2, Stride: 1}},
+	}
+	net, err := arch.Build(rng.NewPCG32(seed, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestZeroConfigAnalogPlanBitIdentical pins half of the zero-fault contract:
+// a Config with no analog noise must produce the exact plan CompileQuant
+// produces — same struct, same thresholds, same draw order.
+func TestZeroConfigAnalogPlanBitIdentical(t *testing.T) {
+	net := testNet(t, 11)
+	for _, cfg := range []Config{{}, {Seed: 99}, {Drop: 0.5, DeadCore: 0.1}} {
+		got, err := AnalogPlan(cfg, net, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, deploy.CompileQuant(net)) {
+			t.Fatalf("config %+v: analog plan differs from CompileQuant", cfg)
+		}
+	}
+}
+
+// TestZeroConfigApplyChipNoOp pins the other half: applying a config with no
+// chip faults must leave the chip running bit-identically to an untouched
+// twin.
+func TestZeroConfigApplyChipNoOp(t *testing.T) {
+	net := testNet(t, 13)
+	sn := deploy.Sample(net, rng.NewPCG32(13, 3), deploy.DefaultSampleConfig())
+	a, err := deploy.BuildChip(sn, deploy.MapSigned, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := deploy.BuildChip(sn, deploy.MapSigned, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyChip(Config{Seed: 5, Drift: 0.3, DACBits: 4}, b.Chip, 0); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 64)
+	xsrc := rng.NewPCG32(13, 9)
+	for i := range x {
+		x[i] = rng.Float64(xsrc)
+	}
+	ca := a.Frame(x, 8, rng.NewPCG32(13, 10))
+	cb := b.Frame(x, 8, rng.NewPCG32(13, 10))
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("zero chip-fault config changed counts: %v vs %v", ca, cb)
+	}
+	if a.Chip.Stats() != b.Chip.Stats() {
+		t.Fatalf("zero chip-fault config changed stats: %+v vs %+v", a.Chip.Stats(), b.Chip.Stats())
+	}
+}
+
+// TestApplyChipDeterministic: the same (cfg, salt) on two identically built
+// chips yields bit-identical faulted behavior; a different salt diverges.
+func TestApplyChipDeterministic(t *testing.T) {
+	net := testNet(t, 17)
+	sn := deploy.Sample(net, rng.NewPCG32(17, 3), deploy.DefaultSampleConfig())
+	cfg, err := ParseSpec("seed=21,dead=0.1,stuck0=0.05,stuck1=0.01,silent=0.1,fire=0.05,drop=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(salt uint64) *deploy.ChipNet {
+		cn, err := deploy.BuildChip(sn, deploy.MapSigned, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplyChip(cfg, cn.Chip, salt); err != nil {
+			t.Fatal(err)
+		}
+		return cn
+	}
+	x := make([]float64, 64)
+	xsrc := rng.NewPCG32(17, 9)
+	for i := range x {
+		x[i] = rng.Float64(xsrc)
+	}
+	run := func(cn *deploy.ChipNet) []int64 { return cn.Frame(x, 8, rng.NewPCG32(17, 10)) }
+	a, b, c := mk(0), mk(0), mk(1)
+	ca, cb := run(a), run(b)
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("same (cfg, salt) diverged: %v vs %v", ca, cb)
+	}
+	if a.Chip.Stats() != b.Chip.Stats() {
+		t.Fatalf("same (cfg, salt) stats diverged: %+v vs %+v", a.Chip.Stats(), b.Chip.Stats())
+	}
+	if a.Chip.Stats() == c.Chip.Stats() && reflect.DeepEqual(ca, run(c)) {
+		t.Fatalf("salt 0 and 1 realized identical faults (%+v)", a.Chip.Stats())
+	}
+}
+
+// TestApplyChipFaultsBite checks every chip fault model observably perturbs a
+// busy chip — guarding against silently compiled-away fault plans.
+func TestApplyChipFaultsBite(t *testing.T) {
+	net := testNet(t, 23)
+	sn := deploy.Sample(net, rng.NewPCG32(23, 3), deploy.DefaultSampleConfig())
+	x := make([]float64, 64)
+	xsrc := rng.NewPCG32(23, 9)
+	for i := range x {
+		x[i] = 0.3 + 0.7*rng.Float64(xsrc)
+	}
+	run := func(spec string) (Stats, []int64) {
+		cn, err := deploy.BuildChip(sn, deploy.MapSigned, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplyChip(cfg, cn.Chip, 0); err != nil {
+			t.Fatal(err)
+		}
+		counts := cn.Frame(x, 8, rng.NewPCG32(23, 10))
+		st := cn.Chip.Stats()
+		return Stats{Spikes: st.Spikes, SynEvents: st.SynEvents}, counts
+	}
+	base, baseCounts := run("")
+	for _, spec := range []string{
+		"seed=3,dead=0.5",
+		"seed=3,deadcores=0:1",
+		"seed=3,stuck0=0.5",
+		"seed=3,stuck1=0.2",
+		"seed=3,silent=0.5",
+		"seed=3,fire=0.3",
+		"seed=3,drop=0.5",
+		"drop=1",
+	} {
+		st, counts := run(spec)
+		if st == base && reflect.DeepEqual(counts, baseCounts) {
+			t.Errorf("%s: no observable effect (stats %+v)", spec, st)
+		}
+	}
+	if st, counts := run("drop=1"); st.Spikes != 0 {
+		t.Errorf("drop=1 left %d spikes", st.Spikes)
+	} else {
+		for k, c := range counts {
+			if c != 0 {
+				t.Errorf("drop=1 class %d count %d", k, c)
+			}
+		}
+	}
+}
+
+// Stats is a comparable subset of truenorth.Stats used by the bite test.
+type Stats struct{ Spikes, SynEvents int64 }
+
+// TestAnalogPlanDeterministicAndSalted mirrors the chip determinism test on
+// the fast path: same (cfg, copy) -> identical plans; different copy ->
+// different noise realization.
+func TestAnalogPlanDeterministicAndSalted(t *testing.T) {
+	net := testNet(t, 29)
+	cfg, err := ParseSpec("seed=5,drift=0.4,read=0.1,dacbits=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalogPlan(cfg, net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalogPlan(cfg, net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (cfg, copy) produced different plans")
+	}
+	c, err := AnalogPlan(cfg, net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("copies 2 and 3 realized identical noise")
+	}
+	clean := deploy.CompileQuant(net)
+	if reflect.DeepEqual(a, clean) {
+		t.Fatal("noisy plan identical to clean plan")
+	}
+	// Sampling from the noisy plan must work end to end.
+	sn := a.Sample(rng.NewPCG32(5, 17), deploy.DefaultSampleConfig())
+	if sn.Classes() != clean.Classes() {
+		t.Fatalf("noisy plan classes %d vs %d", sn.Classes(), clean.Classes())
+	}
+}
+
+// TestAnalogDACQuantizesLevels checks the DAC transfer actually snaps
+// programming levels onto the advertised grid when it is the only noise
+// source.
+func TestAnalogDACQuantizesLevels(t *testing.T) {
+	net := testNet(t, 31)
+	cfg := Config{DACBits: 2} // 3 levels: p in {0, 1/3, 2/3, 1}
+	noisy, err := AnalogPlan(cfg, net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := deploy.CompileQuant(net)
+	if reflect.DeepEqual(noisy, clean) {
+		t.Fatal("2-bit DAC left the plan untouched")
+	}
+	// Quantized again at the same resolution, the plan must be a fixed point.
+	again, err := AnalogPlan(cfg, net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(noisy, again) {
+		t.Fatal("DAC transfer is not deterministic")
+	}
+}

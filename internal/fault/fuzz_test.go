@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultConfig drives the fault-spec parser with arbitrary input. The
+// contract under fuzzing: ParseSpec never panics; every accepted spec yields
+// a Config that (a) passes Validate — proving nothing out of range was
+// silently clamped in — and (b) survives a String round trip bit-for-bit, so
+// a logged spec always reproduces its sweep point.
+func FuzzFaultConfig(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=42,dead=0.05,drop=0.01",
+		"deadcores=0:5:2,silent=0.1,fire=0.05",
+		"stuck0=0.3,stuck1=1e-3,drift=0.3,read=0.05,dacbits=4",
+		"dead=1.5",
+		"dead=NaN",
+		"drift=Inf",
+		"seed=0xfff,dacbits=16",
+		"deadcores=1:1",
+		"a=b,c=d",
+		"drop==1",
+		"drop,=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v (cfg %+v)", spec, verr, cfg)
+		}
+		back, err := ParseSpec(cfg.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not parse: %v", cfg.String(), spec, err)
+		}
+		if !reflect.DeepEqual(back, cfg) {
+			t.Fatalf("round trip %q -> %q: %+v vs %+v", spec, cfg.String(), back, cfg)
+		}
+	})
+}

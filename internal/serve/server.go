@@ -204,6 +204,7 @@ type Server struct {
 	start   time.Time
 	items   atomic.Int64
 	sheds   atomic.Int64
+	panics  atomic.Int64
 }
 
 // NewServer builds a server over reg.
@@ -224,8 +225,33 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving all endpoints, wrapped in panic
+// recovery: a panicking request handler answers 500 and bumps panics_total on
+// /debug/stats instead of killing the worker's connection goroutine silently.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+
+// recoverPanics is the outermost middleware. http.ErrAbortHandler passes
+// through — it is net/http's sanctioned way to abort a response and must keep
+// its semantics. Everything else is counted, logged with a stack, and
+// answered with a best-effort 500 (a no-op if the handler already wrote a
+// header; the client then sees a truncated body, which is the honest signal).
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.panics.Add(1)
+			log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			writeError(w, http.StatusInternalServerError, "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Close drains gracefully: new submissions are refused, every accepted item
 // is still classified, and all in-flight flushes complete before Close
@@ -235,12 +261,13 @@ func (s *Server) Close() { s.batcher.Close() }
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	out := Stats{
-		UptimeS:    time.Since(s.start).Seconds(),
-		QueueDepth: s.batcher.Depth(),
-		Flushes:    s.batcher.Flushes(),
-		ItemsTotal: s.items.Load(),
-		ShedsTotal: s.sheds.Load(),
-		Models:     make(map[string]ModelStats),
+		UptimeS:     time.Since(s.start).Seconds(),
+		QueueDepth:  s.batcher.Depth(),
+		Flushes:     s.batcher.Flushes(),
+		ItemsTotal:  s.items.Load(),
+		ShedsTotal:  s.sheds.Load(),
+		PanicsTotal: s.panics.Load(),
+		Models:      make(map[string]ModelStats),
 	}
 	for _, name := range s.reg.Names() {
 		if e, ok := s.reg.Get(name); ok {

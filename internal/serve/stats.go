@@ -108,10 +108,13 @@ type Stats struct {
 	// Flushes counts dispatched micro-batches across all models; ItemsTotal /
 	// UptimeS is the served throughput. ShedsTotal counts requests refused
 	// with 429 by the per-model admission watermarks.
-	Flushes    int64                 `json:"flushes"`
-	ItemsTotal int64                 `json:"items_total"`
-	ShedsTotal int64                 `json:"sheds_total"`
-	Models     map[string]ModelStats `json:"models"`
+	Flushes    int64 `json:"flushes"`
+	ItemsTotal int64 `json:"items_total"`
+	ShedsTotal int64 `json:"sheds_total"`
+	// PanicsTotal counts request handlers recovered by the panic middleware
+	// (each answered 500); nonzero means a bug worth chasing, not a crash.
+	PanicsTotal int64                 `json:"panics_total"`
+	Models      map[string]ModelStats `json:"models"`
 }
 
 func (e *ModelEntry) snapshot() ModelStats {

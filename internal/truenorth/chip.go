@@ -70,6 +70,18 @@ type Chip struct {
 	plans     []deliveryPlan
 	corePlans []*corePlan
 	idleCores []int
+
+	// faults[i] is core i's compiled fault plan (nil slice when no core is
+	// faulted); faultSeed derives the per-core delivery-drop streams.
+	// faultGen counts fault-plan mutations, planFaultGen the generation
+	// ensurePlans last saw, and faultEval lists the cores the event-driven
+	// tick must visit solely because a fault can make them spike from
+	// nothing (force-fire neurons on otherwise inert cores). See faults.go.
+	faults       []*coreFaultState
+	faultSeed    uint64
+	faultGen     uint64
+	planFaultGen uint64
+	faultEval    []int
 }
 
 // Stats aggregates simulation activity.
@@ -211,11 +223,21 @@ func (ch *Chip) ensurePlans() {
 			rebuild = true
 		}
 	}
+	if ch.planFaultGen != ch.faultGen {
+		ch.planFaultGen = ch.faultGen
+		rebuild = true
+	}
 	if rebuild {
 		ch.idleCores = ch.idleCores[:0]
+		ch.faultEval = ch.faultEval[:0]
 		for i, p := range ch.corePlans {
 			if len(p.idle) > 0 {
 				ch.idleCores = append(ch.idleCores, i)
+			} else if ch.faults != nil && ch.faults[i] != nil && ch.faults[i].forceFire != nil {
+				// A force-fire fault makes an otherwise inert core spike on
+				// quiet ticks; the dense oracle sees that for free, the event
+				// path must visit the core explicitly.
+				ch.faultEval = append(ch.faultEval, i)
 			}
 		}
 	}
@@ -235,6 +257,7 @@ func (ch *Chip) Tick() {
 	ev := ch.evalBuf[:0]
 	for _, i := range ch.worklist {
 		spikes, syn := ch.cores[i].tickActive(ch.pending[i], ch.outBuf[i])
+		spikes = ch.applyCoreFaults(i, ch.outBuf[i], spikes)
 		ch.stats.Spikes += int64(spikes)
 		ch.stats.SynEvents += syn
 		if spikes > 0 {
@@ -246,6 +269,18 @@ func (ch *Chip) Tick() {
 			continue // already evaluated with its pending activity
 		}
 		spikes := ch.cores[i].tickIdle(ch.outBuf[i])
+		spikes = ch.applyCoreFaults(i, ch.outBuf[i], spikes)
+		ch.stats.Spikes += int64(spikes)
+		if spikes > 0 {
+			ev = append(ev, i)
+		}
+	}
+	for _, i := range ch.faultEval {
+		if ch.dirty[i] {
+			continue // already evaluated with its pending activity
+		}
+		ch.outBuf[i].Zero()
+		spikes := ch.applyCoreFaults(i, ch.outBuf[i], 0)
 		ch.stats.Spikes += int64(spikes)
 		if spikes > 0 {
 			ev = append(ev, i)
@@ -305,7 +340,9 @@ func (ch *Chip) TickDense() {
 	// within this tick cannot leak into the same tick), then deliver.
 	for i, c := range ch.cores {
 		ch.stats.SynEvents += c.SynEvents(ch.pending[i])
-		ch.stats.Spikes += int64(c.Tick(ch.pending[i], ch.outBuf[i]))
+		spikes := c.Tick(ch.pending[i], ch.outBuf[i])
+		spikes = ch.applyCoreFaults(i, ch.outBuf[i], spikes)
+		ch.stats.Spikes += int64(spikes)
 	}
 	for i := range ch.pending {
 		ch.pending[i].Zero()
@@ -347,6 +384,15 @@ func (ch *Chip) ResetActivity() {
 	}
 	for _, c := range ch.cores {
 		c.Reset()
+	}
+	// Rewind every delivery-drop stream to its (faultSeed, core) origin so a
+	// frame's drop realization never depends on how many frames (or which
+	// items, under worker scheduling) this chip evaluated before — part of
+	// the fault-injection determinism contract (docs/DETERMINISM.md).
+	for i, f := range ch.faults {
+		if f != nil {
+			f.seedDrop(ch.faultSeed, i)
+		}
 	}
 	ch.stats = Stats{}
 }

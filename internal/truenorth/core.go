@@ -90,6 +90,18 @@ func (c *Core) Connect(axon, neuron, t int) {
 	c.gen++
 }
 
+// Disconnect removes the axon -> neuron wire through weight table entry t.
+// Together with Connect this lets fault injectors rewrite synapses in place
+// (stuck-at-0 clears a wire, stuck-at-1 rewires one) without rebuilding the
+// core.
+func (c *Core) Disconnect(axon, neuron, t int) {
+	if axon < 0 || axon >= c.Axons || neuron < 0 || neuron >= c.Neurons || t < 0 || t >= NumAxonTypes {
+		panic(fmt.Sprintf("truenorth: Disconnect(%d,%d,%d) out of range", axon, neuron, t))
+	}
+	c.masks[neuron*NumAxonTypes+t].Clear(axon)
+	c.gen++
+}
+
 // Connected reports whether axon feeds neuron through entry t.
 func (c *Core) Connected(axon, neuron, t int) bool {
 	return c.masks[neuron*NumAxonTypes+t].Get(axon)

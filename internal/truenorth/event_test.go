@@ -2,6 +2,7 @@ package truenorth
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/rng"
@@ -94,7 +95,9 @@ func driveRandom(ch *Chip, src *rng.PCG32) {
 }
 
 // checkChipsEqual compares every observable of two chips: statistics,
-// external counts, pending axon state and membrane potentials.
+// external counts, pending axon state, membrane potentials, the per-core
+// inference PRNG streams and the fault-plan state (including per-core
+// delivery-drop stream positions).
 func checkChipsEqual(t *testing.T, tick int, a, b *Chip) {
 	t.Helper()
 	if a.Stats() != b.Stats() {
@@ -116,6 +119,17 @@ func checkChipsEqual(t *testing.T, tick int, a, b *Chip) {
 				t.Fatalf("tick %d: core %d neuron %d potential %d vs %d",
 					tick, i, j, a.cores[i].potential[j], b.cores[i].potential[j])
 			}
+		}
+		if !reflect.DeepEqual(a.cores[i].prng, b.cores[i].prng) {
+			t.Fatalf("tick %d: core %d PRNG streams diverged", tick, i)
+		}
+	}
+	if (a.faults == nil) != (b.faults == nil) {
+		t.Fatalf("tick %d: fault plans %v vs %v", tick, a.faults != nil, b.faults != nil)
+	}
+	for i := range a.faults {
+		if !reflect.DeepEqual(a.faults[i], b.faults[i]) {
+			t.Fatalf("tick %d: core %d fault state diverged (drop-stream positions included)", tick, i)
 		}
 	}
 }
@@ -500,6 +514,229 @@ func TestSparseChipParity(t *testing.T) {
 	}
 	if event.Stats().Spikes == 0 {
 		t.Fatal("relay pulse died")
+	}
+}
+
+// applyFaultModel derives a seed-deterministic fault set of one model family
+// from src and injects it into ch. Called with identically seeded sources on
+// two same-seed chips it installs bit-identical faults, so the event and
+// dense paths can be compared under injury. Structural models mutate the
+// crossbar through Connect/Disconnect; output models install CoreFaults
+// plans; "mixed" layers everything at once.
+func applyFaultModel(t *testing.T, ch *Chip, model string, src *rng.PCG32) {
+	t.Helper()
+	ch.SetFaultSeed(uint64(src.Uint32())<<32 | uint64(src.Uint32()))
+	structural := func(c *Core) {
+		for j := 0; j < c.Neurons; j++ {
+			for ty := 0; ty < NumAxonTypes; ty++ {
+				for a := 0; a < c.Axons; a++ {
+					if c.Connected(a, j, ty) && rng.Bernoulli(src, 0.2) {
+						c.Disconnect(a, j, ty) // stuck-at-0
+					}
+				}
+			}
+			for a := 0; a < c.Axons; a++ {
+				if rng.Bernoulli(src, 0.05) {
+					c.Connect(a, j, rng.Intn(src, NumAxonTypes)) // stuck-at-1
+				}
+			}
+		}
+	}
+	for i := 0; i < ch.NumCores(); i++ {
+		c := ch.Core(i)
+		var f CoreFaults
+		switch model {
+		case "dead":
+			if rng.Bernoulli(src, 0.4) {
+				f.Suppress = NewBitVec(c.Neurons)
+				for j := 0; j < c.Neurons; j++ {
+					f.Suppress.Set(j)
+				}
+			}
+		case "silent":
+			// Oversized mask: bits at and beyond Neurons must be ignored.
+			f.Suppress = NewBitVec(c.Neurons + 70)
+			for j := 0; j < c.Neurons+70; j++ {
+				if rng.Bernoulli(src, 0.3) {
+					f.Suppress.Set(j)
+				}
+			}
+		case "forcefire":
+			f.ForceFire = NewBitVec(c.Neurons)
+			for j := 0; j < c.Neurons; j++ {
+				if rng.Bernoulli(src, 0.2) {
+					f.ForceFire.Set(j)
+				}
+			}
+		case "drop":
+			f.Drop = rng.Float64(src)
+		case "dropall":
+			if rng.Bernoulli(src, 0.5) {
+				f.Drop = 1
+			}
+		case "stuck":
+			structural(c)
+		case "mixed":
+			structural(c)
+			f.Suppress = NewBitVec(c.Neurons)
+			f.ForceFire = NewBitVec(c.Neurons)
+			for j := 0; j < c.Neurons; j++ {
+				if rng.Bernoulli(src, 0.15) {
+					f.Suppress.Set(j)
+				}
+				if rng.Bernoulli(src, 0.15) {
+					f.ForceFire.Set(j)
+				}
+			}
+			f.Drop = 0.5 * rng.Float64(src)
+		default:
+			t.Fatalf("unknown fault model %q", model)
+		}
+		if err := ch.SetCoreFaults(i, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEventTickMatchesDenseFaulted extends the randomized parity contract to
+// every fault model: under dead cores, stuck-silent/stuck-at-fire neurons,
+// stuck-at-0/1 synapses and transient delivery drops, Tick and TickDense stay
+// bit-identical in spikes, Stats, potentials, pending state, PRNG streams and
+// drop-stream positions (docs/DETERMINISM.md "Fault injection").
+func TestEventTickMatchesDenseFaulted(t *testing.T) {
+	models := []string{"dead", "silent", "forcefire", "drop", "dropall", "stuck", "mixed"}
+	for _, model := range models {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			for n := 0; n < 8; n++ {
+				seed := uint64(9000 + n*31)
+				event, dense := buildRandomChip(seed), buildRandomChip(seed)
+				applyFaultModel(t, event, model, rng.NewPCG32(seed, 501))
+				applyFaultModel(t, dense, model, rng.NewPCG32(seed, 501))
+				srcE, srcD := rng.NewPCG32(seed, 202), rng.NewPCG32(seed, 202)
+				for tick := 0; tick < 50; tick++ {
+					driveRandom(event, srcE)
+					driveRandom(dense, srcD)
+					event.Tick()
+					dense.TickDense()
+					checkChipsEqual(t, tick, event, dense)
+				}
+			}
+		})
+	}
+}
+
+// TestEventFaultReconfigMidRun reconfigures fault plans while the chips are
+// running — install, mutate, clear, reseed — and requires parity to hold
+// through every transition, pinning the faultGen plan-invalidation path.
+func TestEventFaultReconfigMidRun(t *testing.T) {
+	for n := 0; n < 6; n++ {
+		seed := uint64(7100 + n*17)
+		event, dense := buildRandomChip(seed), buildRandomChip(seed)
+		srcE, srcD := rng.NewPCG32(seed, 203), rng.NewPCG32(seed, 203)
+		reconfig := func(tick int) {
+			switch tick {
+			case 10:
+				applyFaultModel(t, event, "mixed", rng.NewPCG32(seed, 502))
+				applyFaultModel(t, dense, "mixed", rng.NewPCG32(seed, 502))
+			case 25:
+				event.ClearFaults()
+				dense.ClearFaults()
+			case 30:
+				applyFaultModel(t, event, "forcefire", rng.NewPCG32(seed, 503))
+				applyFaultModel(t, dense, "forcefire", rng.NewPCG32(seed, 503))
+			case 40:
+				// Reseeding rewinds installed drop streams on both paths.
+				event.SetFaultSeed(seed * 3)
+				dense.SetFaultSeed(seed * 3)
+				applyFaultModel(t, event, "drop", rng.NewPCG32(seed, 504))
+				applyFaultModel(t, dense, "drop", rng.NewPCG32(seed, 504))
+			}
+		}
+		for tick := 0; tick < 55; tick++ {
+			reconfig(tick)
+			driveRandom(event, srcE)
+			driveRandom(dense, srcD)
+			event.Tick()
+			dense.TickDense()
+			checkChipsEqual(t, tick, event, dense)
+		}
+	}
+}
+
+// TestEventForceFireInertCore pins the faultEval path: a stuck-at-fire neuron
+// on a core the event-driven tick would otherwise never visit (no pending
+// activity, empty idle-active list) must spike every tick exactly as the
+// dense oracle says, and its spikes must route onward.
+func TestEventForceFireInertCore(t *testing.T) {
+	mk := func() *Chip {
+		ch := NewChip(5)
+		ch.SetExternalSinks(1)
+		ch.AddCore(4, 2)
+		ch.AddCore(4, 1)
+		inert := ch.Core(0)
+		inert.SetWeights(0, WeightTable{1, 0, 0, 0})
+		inert.Connect(0, 0, 0)
+		inert.SetNeuron(0, NeuronConfig{Leak: -1}) // needs input to fire; inert when quiet
+		inert.SetNeuron(1, NeuronConfig{Leak: -1})
+		relay := ch.Core(1)
+		relay.SetWeights(0, WeightTable{1, 0, 0, 0})
+		relay.Connect(0, 0, 0)
+		relay.SetNeuron(0, NeuronConfig{Leak: -1})
+		mustRoute(t, ch, 0, 0, Target{Core: 1, Axon: 0})
+		mustRoute(t, ch, 0, 1, Target{Core: 1, Axon: 1})
+		mustRoute(t, ch, 1, 0, Target{Core: External, Axon: 0})
+		ff := NewBitVec(2)
+		ff.Set(0)
+		if err := ch.SetCoreFaults(0, CoreFaults{ForceFire: ff}); err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	event, dense := mk(), mk()
+	for tick := 0; tick < 12; tick++ {
+		event.Tick()
+		dense.TickDense()
+		checkChipsEqual(t, tick, event, dense)
+	}
+	// Forced spikes at ticks 1..12 reach the relay with one tick of transport
+	// latency, so it fires at ticks 2..12: 11 external spikes.
+	if got := event.ExternalCounts()[0]; got != 11 {
+		t.Fatalf("force-fire relay delivered %d external spikes, want 11", got)
+	}
+	if event.Stats().Spikes != dense.Stats().Spikes || event.Stats().Spikes < 12 {
+		t.Fatalf("spike accounting: event %d dense %d", event.Stats().Spikes, dense.Stats().Spikes)
+	}
+}
+
+// TestFaultsClearRestoresBaseline: installing fault plans and then removing
+// them (zero CoreFaults per core, or ClearFaults) leaves the chip
+// bit-identical to one that never saw the fault API — the runtime half of the
+// zero-fault contract.
+func TestFaultsClearRestoresBaseline(t *testing.T) {
+	seed := uint64(4242)
+	pristine, cleared, zeroed := buildRandomChip(seed), buildRandomChip(seed), buildRandomChip(seed)
+	// Only output-plan models here: structural (stuck-synapse) faults rewire
+	// the crossbar permanently and are out of ClearFaults' scope.
+	applyFaultModel(t, cleared, "silent", rng.NewPCG32(seed, 505))
+	applyFaultModel(t, cleared, "forcefire", rng.NewPCG32(seed, 506))
+	applyFaultModel(t, cleared, "drop", rng.NewPCG32(seed, 507))
+	cleared.ClearFaults()
+	for i := 0; i < zeroed.NumCores(); i++ {
+		if err := zeroed.SetCoreFaults(i, CoreFaults{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcP, srcC, srcZ := rng.NewPCG32(seed, 204), rng.NewPCG32(seed, 204), rng.NewPCG32(seed, 204)
+	for tick := 0; tick < 30; tick++ {
+		driveRandom(pristine, srcP)
+		driveRandom(cleared, srcC)
+		driveRandom(zeroed, srcZ)
+		pristine.Tick()
+		cleared.Tick()
+		zeroed.TickDense()
+		checkChipsEqual(t, tick, pristine, cleared)
+		checkChipsEqual(t, tick, pristine, zeroed)
 	}
 }
 

@@ -1,0 +1,205 @@
+package truenorth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file implements the chip-level half of the deterministic fault
+// substrate (internal/fault composes over it): per-core fault plans applied
+// identically by the event-driven Tick and the dense oracle TickDense, so the
+// two stay bit-identical under every fault configuration — the seventh
+// determinism contract (docs/DETERMINISM.md "Fault injection").
+//
+// Structural faults (dead synapses, stuck-at-1 synapses) need no support
+// here: injectors rewrite the crossbar directly through Connect/Disconnect.
+// What does need runtime support is anything applied to the spike vector
+// after neuron evaluation — stuck-silent neurons, stuck-at-fire neurons, and
+// transient per-tick delivery drops — because the event path must produce
+// those effects on cores it would otherwise never visit.
+
+// CoreFaults describes the post-evaluation faults injected on one core.
+// Masks are indexed by neuron; bits at or beyond the core's neuron count are
+// ignored. The zero value means "no faults".
+type CoreFaults struct {
+	// ForceFire marks stuck-at-fire neurons: they emit a spike every tick
+	// regardless of membrane state.
+	ForceFire BitVec
+	// Suppress marks stuck-silent neurons: their spikes are discarded. A
+	// whole-core Suppress mask models a dead core. Suppress takes precedence
+	// over ForceFire — a neuron in both masks stays silent.
+	Suppress BitVec
+	// Drop is the probability, per spike per tick, that a spike surviving the
+	// masks is lost in transport. Draws come from a dedicated per-core PCG32
+	// stream derived from the chip's fault seed (SetFaultSeed), never from
+	// the core's inference PRNG, so faulted and unfaulted runs consume
+	// identical inference randomness. Drop >= 1 silences the core without
+	// consuming draws, mirroring rng.Bernoulli's saturation behavior.
+	Drop float64
+}
+
+// faultDropStream offsets the per-core delivery-drop streams away from every
+// other stream family derived in this repository (cores use their index,
+// deployment sampling uses small constants).
+const faultDropStream = 0xFA000
+
+// coreFaultState is a compiled CoreFaults: masks sized to the core, the
+// 32-bit Bernoulli threshold for Drop, and the private drop stream.
+type coreFaultState struct {
+	forceFire BitVec
+	suppress  BitVec
+	dropThr   uint32
+	dropAll   bool
+	drop      rng.PCG32
+}
+
+// seedDrop (re)derives the drop stream for the core at index i. ResetActivity
+// rewinds streams through this too, making every frame's drop realization a
+// pure function of (faultSeed, core) — independent of which worker evaluated
+// which item first, and identical on the event and dense paths.
+func (f *coreFaultState) seedDrop(faultSeed uint64, i int) {
+	f.drop.Seed(rng.SplitMix64(faultSeed), faultDropStream+uint64(i))
+}
+
+// SetFaultSeed installs the seed deriving every per-core delivery-drop
+// stream, rewinding any streams already installed. Fault draws are split per
+// core from this seed alone, so any sweep point is reproducible from
+// (faultSeed, config) regardless of inference draw order.
+func (ch *Chip) SetFaultSeed(seed uint64) {
+	ch.faultSeed = seed
+	for i, f := range ch.faults {
+		if f != nil {
+			f.seedDrop(seed, i)
+		}
+	}
+}
+
+// sanitizeFaultMask copies src into a mask sized for n neurons, dropping tail
+// bits beyond n (which would otherwise index past routing tables during
+// delivery). Returns nil for an effectively empty mask.
+func sanitizeFaultMask(src BitVec, n int) BitVec {
+	if src == nil {
+		return nil
+	}
+	v := NewBitVec(n)
+	for wi := range v {
+		if wi < len(src) {
+			v[wi] = src[wi]
+		}
+	}
+	if r := uint(n) & 63; r != 0 {
+		v[len(v)-1] &= 1<<r - 1
+	}
+	for _, w := range v {
+		if w != 0 {
+			return v
+		}
+	}
+	return nil
+}
+
+// SetCoreFaults installs (or, for a zero CoreFaults, removes) the fault plan
+// of one core. Masks are copied; the caller keeps ownership of f. The drop
+// stream is derived from the seed last passed to SetFaultSeed (zero until
+// then).
+func (ch *Chip) SetCoreFaults(core int, f CoreFaults) error {
+	if core < 0 || core >= len(ch.cores) {
+		return fmt.Errorf("truenorth: SetCoreFaults core %d out of range (have %d)", core, len(ch.cores))
+	}
+	if math.IsNaN(f.Drop) || f.Drop < 0 {
+		return fmt.Errorf("truenorth: SetCoreFaults drop probability %v invalid", f.Drop)
+	}
+	st := &coreFaultState{
+		forceFire: sanitizeFaultMask(f.ForceFire, ch.cores[core].Neurons),
+		suppress:  sanitizeFaultMask(f.Suppress, ch.cores[core].Neurons),
+	}
+	switch {
+	case f.Drop >= 1:
+		st.dropAll = true
+	case f.Drop > 0:
+		st.dropThr = uint32(f.Drop * (1 << 32))
+	}
+	ch.faultGen++
+	if st.forceFire == nil && st.suppress == nil && !st.dropAll && st.dropThr == 0 {
+		if ch.faults != nil {
+			ch.faults[core] = nil
+			for _, g := range ch.faults {
+				if g != nil {
+					return nil
+				}
+			}
+			ch.faults = nil
+		}
+		return nil
+	}
+	st.seedDrop(ch.faultSeed, core)
+	if ch.faults == nil {
+		ch.faults = make([]*coreFaultState, len(ch.cores))
+	}
+	ch.faults[core] = st
+	return nil
+}
+
+// ClearFaults removes every installed fault plan. The fault seed is kept.
+func (ch *Chip) ClearFaults() {
+	if ch.faults != nil {
+		ch.faults = nil
+		ch.faultGen++
+	}
+}
+
+// applyCoreFaults rewrites core i's freshly evaluated spike vector through
+// its fault plan — force-fire, then suppress (so suppress wins on overlap),
+// then per-spike delivery drops — and returns the post-fault spike count.
+// Drop draws walk the surviving spikes in ascending bit order, the same order
+// on the event and dense paths.
+func (ch *Chip) applyCoreFaults(i int, out BitVec, spikes int) int {
+	if ch.faults == nil {
+		return spikes
+	}
+	f := ch.faults[i]
+	if f == nil {
+		return spikes
+	}
+	changed := false
+	if f.forceFire != nil {
+		for wi, w := range f.forceFire {
+			if w&^out[wi] != 0 {
+				out[wi] |= w
+				changed = true
+			}
+		}
+	}
+	if f.suppress != nil {
+		for wi, w := range f.suppress {
+			if out[wi]&w != 0 {
+				out[wi] &^= w
+				changed = true
+			}
+		}
+	}
+	switch {
+	case f.dropAll:
+		for wi, w := range out {
+			if w != 0 {
+				out[wi] = 0
+				changed = true
+			}
+		}
+	case f.dropThr != 0:
+		for wi := range out {
+			for w := out[wi]; w != 0; w &= w - 1 {
+				if f.drop.Uint32() < f.dropThr {
+					out[wi] &^= w & -w
+					changed = true
+				}
+			}
+		}
+	}
+	if !changed {
+		return spikes
+	}
+	return out.OnesCount()
+}
