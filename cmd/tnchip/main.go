@@ -36,6 +36,7 @@ func main() {
 		dense     = flag.Bool("dense", false, "force the dense reference simulator (TickDense) instead of the event-driven tick; results are bit-identical, only speed differs")
 		faultSpec = flag.String("fault", "", "inject a fault spec (internal/fault syntax, e.g. 'seed=7,dead=0.25,drop=0.1,drift=0.5'); fault draws depend only on the spec and copy index, so any tnrepro sweep point's fault realization reproduces here")
 		deviation = flag.String("deviation", "", "write a deviation PGM of layer0/core0 and exit")
+		place     = flag.String("place", "", "place the ensemble on the 64x64 mesh (naive, layered, anneal) and report NoC traffic vs the row-major baseline")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -128,6 +129,49 @@ func main() {
 	fmt.Printf("frames: %d  spf: %d  accuracy: %.4f\n", n, *spf, acc)
 	fmt.Printf("activity: %d ticks, %d spikes, %d synaptic events\n", stats.Ticks, stats.Spikes, stats.SynEvents)
 	fmt.Printf("synaptic energy estimate: %.3g J (26 pJ/event)\n", stats.SynapticEnergyJoules())
+
+	if *place != "" {
+		// One placed single-chip ensemble over the same sampled copies: the
+		// NoC observer charges every routed spike its mesh hops under the
+		// chosen placement (observer-only, so accuracy above is unaffected).
+		cn, err := deploy.BuildChipEnsemblePlaced(nets, deploy.MapSigned, *seed, deploy.Placer(*place))
+		if err != nil {
+			fatal(err)
+		}
+		traffic := cn.Traffic()
+		naive, err := truenorth.PlaceRowMajor(cn.Chip.NumCores())
+		if err != nil {
+			fatal(err)
+		}
+		src := rng.NewPCG32(*seed, 9)
+		var hops, routed, maxLink int64
+		frame := cn.Frame
+		if *dense {
+			frame = cn.FrameDense
+		}
+		for f := 0; f < n; f++ {
+			frame(test.X[f], *spf, src)
+			noc := cn.Chip.NoC()
+			hops += noc.Hops
+			routed += noc.Spikes
+			maxLink += noc.MaxLinkLoad()
+		}
+		wirePlaced, wireNaive := cn.Placed.WireCost(traffic), naive.WireCost(traffic)
+		savings := 0.0
+		if wireNaive > 0 {
+			savings = 100 * (1 - wirePlaced/wireNaive)
+		}
+		fmt.Printf("placement %s: wire cost %.0f vs row-major %.0f (%.1f%% lower), max link %.0f vs %.0f\n",
+			*place, wirePlaced, wireNaive, savings,
+			cn.Placed.LinkLoads(traffic).MaxLoad(), naive.LinkLoads(traffic).MaxLoad())
+		meanHops := 0.0
+		if routed > 0 {
+			meanHops = float64(hops) / float64(routed)
+		}
+		fmt.Printf("noc: %d routed spikes, %d hops (%.2f hops/spike), %.3g J routing, %.3g s/spike latency, %.1f max-link/frame\n",
+			routed, hops, meanHops, float64(hops)*truenorth.HopEnergyJoules,
+			meanHops*truenorth.HopLatencySeconds, float64(maxLink)/float64(n))
+	}
 }
 
 func fatal(err error) {

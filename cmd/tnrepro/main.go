@@ -48,6 +48,7 @@ func run() (code int) {
 		batch      = flag.Int("batch", 0, "override SGD minibatch size (default 32)")
 		conf       = flag.Float64("conf", 0, "earlyexit/faults: sweep only {0, conf} instead of the default threshold ladder")
 		faultSpec  = flag.String("fault", "", "faults: replace the default sweep grid with this single fault spec (e.g. 'dead=0.25,drop=0.1' or 'drift=0.5,dacbits=4')")
+		place      = flag.String("place", "", "chipscale: placement strategy (naive, layered, anneal; default anneal)")
 		trainOnly  = flag.Bool("trainonly", false, "train the selected experiments' models, then exit before any deployment evaluation (so -cpuprofile/-memprofile capture the SGD loop alone)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -96,7 +97,7 @@ func run() (code int) {
 	opt := eval.Options{
 		Quick: *quick, Seed: *seed, Workers: *workers, OutDir: *outDir,
 		TrainN: *trainN, TestN: *testN, EpochsN: *epochs, RepeatsN: *repeats,
-		BatchN: *batch, Conf: *conf, FaultSpec: *faultSpec,
+		BatchN: *batch, Conf: *conf, FaultSpec: *faultSpec, Place: *place,
 		Ctx: ctx,
 	}
 	if *outDir != "" {
@@ -232,6 +233,21 @@ func runExperiment(r *eval.Runner, id string, getFig7 func() (*eval.Fig7Result, 
 			return err
 		}
 		fmt.Println(eval.RenderChipScale(c))
+		if opt.OutDir != "" {
+			path := filepath.Join(opt.OutDir, "BENCH_PLACE.json")
+			rec, err := eval.LoadBenchRecord(path)
+			if err != nil {
+				return err
+			}
+			rec.PR = 10
+			rec.Title = "Mesh NoC accounting + seeded annealing placer: chipscale ladder"
+			rec.Machine = eval.Machine()
+			rec.Command = "tnrepro -exp chipscale -place " + c.Placer + " -out <dir>"
+			rec.Set("chipscale", c)
+			if err := rec.Write(path); err != nil {
+				return err
+			}
+		}
 	case "earlyexit":
 		ee, err := eval.EarlyExit(r)
 		if err != nil {

@@ -161,6 +161,12 @@ func TestDocsCoreFilesExist(t *testing.T) {
 		"internal/fault/analog.go",
 		"internal/fault/fault_test.go",
 		"internal/fault/fuzz_test.go",
+		"internal/truenorth/noc.go",
+		"internal/truenorth/anneal.go",
+		"internal/truenorth/chip.go",
+		"internal/deploy/chip.go",
+		"internal/truenorth/placement_test.go",
+		"internal/truenorth/placement_fuzz_test.go",
 	} {
 		if !strings.Contains(string(det), src) {
 			t.Errorf("docs/DETERMINISM.md does not reference %s", src)
@@ -183,7 +189,7 @@ func TestDocsNoStaleFileReferences(t *testing.T) {
 		}
 		for _, m := range pathRef.FindAllStringSubmatch(string(raw), -1) {
 			ref := m[1]
-			if ref == "BENCH_CI.json" || ref == "BENCH_FAULTS.json" {
+			if ref == "BENCH_CI.json" || ref == "BENCH_FAULTS.json" || ref == "BENCH_PLACE.json" {
 				continue // CI artifacts, produced by the workflow, not committed
 			}
 			if _, err := os.Stat(ref); err != nil {

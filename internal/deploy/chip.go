@@ -54,6 +54,10 @@ type ChipNet struct {
 	classN    []int
 	depth     int
 	mapping   Mapping
+	// Placed is the physical core placement when the net was built through
+	// BuildChipEnsemblePlaced (nil otherwise); the chip's NoC observer
+	// routes over it.
+	Placed *truenorth.Placement
 }
 
 // inputRun pairs a layer-0 chip core with its compiled input gather program.
@@ -110,6 +114,66 @@ func BuildChipEnsemble(nets []*SampledNet, mapping Mapping, seed uint64) (*ChipN
 		}
 	}
 	return cn, nil
+}
+
+// Placer selects the physical core placement strategy for
+// BuildChipEnsemblePlaced.
+type Placer string
+
+const (
+	// PlacerNaive is row-major order — the do-nothing baseline every
+	// placement comparison measures against.
+	PlacerNaive Placer = "naive"
+	// PlacerLayered clusters by Hilbert-curve order: each ensemble copy's
+	// contiguous logical index range becomes a compact 2-D blob with
+	// consecutive layers adjacent inside it — PlaceLayered's column-band
+	// idea generalized to ensemble scale.
+	PlacerLayered Placer = "layered"
+	// PlacerAnneal refines the Hilbert seed with the seeded
+	// simulated-annealing placer (truenorth.PlaceAnneal).
+	PlacerAnneal Placer = "anneal"
+)
+
+// BuildChipEnsemblePlaced is BuildChipEnsemble plus physical placement: the
+// built chip's static traffic matrix is extracted, the selected placer maps
+// logical cores onto the 64x64 grid, and a NoC accounting observer routing
+// over that placement is attached to the chip. The placement seed is the
+// build seed, so one logged seed reproduces both the sampled ensemble and
+// its layout. NoC accounting is observer-only (docs/DETERMINISM.md, eighth
+// contract): Frame results are byte-identical to BuildChipEnsemble's.
+func BuildChipEnsemblePlaced(nets []*SampledNet, mapping Mapping, seed uint64, placer Placer) (*ChipNet, error) {
+	cn, err := BuildChipEnsemble(nets, mapping, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := cn.Chip.NumCores()
+	var p *truenorth.Placement
+	switch placer {
+	case PlacerNaive:
+		p, err = truenorth.PlaceRowMajor(n)
+	case PlacerLayered:
+		p, err = truenorth.PlaceHilbert(n)
+	case PlacerAnneal:
+		p, _, err = truenorth.PlaceAnneal(cn.Traffic(), n, seed)
+	default:
+		return nil, fmt.Errorf("deploy: unknown placer %q (want %q, %q or %q)",
+			placer, PlacerNaive, PlacerLayered, PlacerAnneal)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cn.Placed = p
+	if err := cn.Chip.SetNoC(p); err != nil {
+		return nil, err
+	}
+	return cn, nil
+}
+
+// Traffic extracts the chip's static core-to-core traffic matrix (fan-out
+// edge counts from the routing tables) — the input of the placement
+// optimizers.
+func (cn *ChipNet) Traffic() []truenorth.Traffic {
+	return cn.Chip.TrafficMatrix(nil)
 }
 
 // lower appends sn's cores, routing and input-injection maps onto cn's chip.

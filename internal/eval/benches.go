@@ -112,6 +112,9 @@ type Options struct {
 	// sweep grid with this single fault spec (internal/fault.ParseSpec
 	// syntax), evaluated against its own zero-fault reference point.
 	FaultSpec string
+	// Place selects the chipscale experiment's placement strategy
+	// ("naive", "layered" or "anneal"; empty = anneal).
+	Place string
 	// Ctx, when non-nil, cancels in-flight deployment evaluations (the
 	// engine checks it between frames).
 	Ctx context.Context

@@ -475,8 +475,11 @@ func TestChipScaleLadder(t *testing.T) {
 	if len(res.Entries) != 3 {
 		t.Fatalf("%d rungs", len(res.Entries))
 	}
+	if res.Placer != "anneal" {
+		t.Fatalf("default placer %q", res.Placer)
+	}
 	for i, e := range res.Entries {
-		if e.Cores != e.Copies*16 {
+		if e.Cores != e.Copies*62 { // bench 3: 49+9+4 cores per copy
 			t.Fatalf("rung %d: %d copies -> %d cores", i, e.Copies, e.Cores)
 		}
 		if e.SynEventsPerFrame <= 0 || e.EnergyPerFrame <= 0 {
@@ -485,8 +488,23 @@ func TestChipScaleLadder(t *testing.T) {
 		if i > 0 && e.SynEventsPerFrame <= res.Entries[i-1].SynEventsPerFrame {
 			t.Fatalf("activity must grow with occupancy: rung %d %+v", i, e)
 		}
+		// Placement columns: the annealed layout must strictly beat the
+		// row-major baseline at every rung, and the NoC observer must have
+		// measured real traffic while staying invisible to the twin.
+		if e.WirePlaced >= e.WireNaive {
+			t.Fatalf("rung %d: placed wire %f not below naive %f", i, e.WirePlaced, e.WireNaive)
+		}
+		if e.MaxLinkPlaced > e.MaxLinkNaive {
+			t.Fatalf("rung %d: placed max link %f hotter than naive %f", i, e.MaxLinkPlaced, e.MaxLinkNaive)
+		}
+		if e.HopsPerFrame <= 0 || e.MeanHopsPerSpike <= 0 || e.MaxLinkPerFrame <= 0 {
+			t.Fatalf("rung %d: no NoC traffic measured: %+v", i, e)
+		}
+		if !e.NoCExact {
+			t.Fatalf("rung %d: NoC observer perturbed the simulation: %+v", i, e)
+		}
 	}
-	if out := RenderChipScale(res); !strings.Contains(out, "cores") {
+	if out := RenderChipScale(res); !strings.Contains(out, "wire-naive") {
 		t.Fatalf("render: %q", out)
 	}
 }

@@ -53,7 +53,7 @@ func Pretrain(r *Runner, id string) error {
 	case "fig9b", "table3":
 		return models(allBenches, "none", "biased")
 	case "chipscale":
-		return models([]int{2}, "biased")
+		return models([]int{3}, "biased")
 	case "earlyexit":
 		return models([]int{1, 4}, "biased")
 	default:

@@ -255,16 +255,27 @@ func WriteSurfaceCSV(dir, name string, s *deploy.SurfaceResult) (string, error) 
 	return path, f.Close()
 }
 
-// RenderChipScale formats the chip-scale occupancy ladder.
+// RenderChipScale formats the chip-scale occupancy ladder with its
+// placed-vs-naive NoC columns.
 func RenderChipScale(c *ChipScaleResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Chip-scale occupancy ladder (%s, %s penalty, %d spf, %d frames, one shared chip per rung):\n",
-		c.Bench.Name, c.Penalty, c.SPF, c.Frames)
-	fmt.Fprintf(&b, "  %7s %6s %6s %9s %14s %12s %12s\n",
-		"copies", "cores", "fill", "accuracy", "synev/frame", "J/frame", "wall/frame")
+	fmt.Fprintf(&b, "Chip-scale occupancy ladder (%s, %s penalty, %d spf, %d frames, one shared chip per rung, %s placement, seed %d):\n",
+		c.Bench.Name, c.Penalty, c.SPF, c.Frames, c.Placer, c.Seed)
+	fmt.Fprintf(&b, "  %7s %6s %6s %9s %14s %12s %12s %11s %11s %7s %9s %9s %10s %12s %6s\n",
+		"copies", "cores", "fill", "accuracy", "synev/frame", "J/frame", "wall/frame",
+		"wire-naive", "wire-place", "saved", "link-nv", "link-pl", "hops/spk", "nocJ/frame", "exact")
 	for _, e := range c.Entries {
-		fmt.Fprintf(&b, "  %7d %6d %5.0f%% %9.4f %14.0f %12.3g %12v\n",
-			e.Copies, e.Cores, e.Fill*100, e.Accuracy, e.SynEventsPerFrame, e.EnergyPerFrame, e.FrameWall.Round(time.Microsecond))
+		saved := 0.0
+		if e.WireNaive > 0 {
+			saved = 100 * (1 - e.WirePlaced/e.WireNaive)
+		}
+		exact := "yes"
+		if !e.NoCExact {
+			exact = "NO"
+		}
+		fmt.Fprintf(&b, "  %7d %6d %5.0f%% %9.4f %14.0f %12.3g %12v %11.0f %11.0f %6.1f%% %9.0f %9.0f %10.2f %12.3g %6s\n",
+			e.Copies, e.Cores, e.Fill*100, e.Accuracy, e.SynEventsPerFrame, e.EnergyPerFrame, e.FrameWall.Round(time.Microsecond),
+			e.WireNaive, e.WirePlaced, saved, e.MaxLinkNaive, e.MaxLinkPlaced, e.MeanHopsPerSpike, e.NoCEnergyPerFrame, exact)
 	}
 	return b.String()
 }

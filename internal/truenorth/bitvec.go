@@ -151,6 +151,24 @@ func OrRangeAny(dst BitVec, dstOff int, src BitVec, srcOff, n int) bool {
 	return any != 0
 }
 
+// CountRange returns the number of set bits in b[off, off+n) — the batched
+// counterpart of walking Get over a run, used by the NoC observer to count
+// delivered spikes per (source, destination) pair without touching delivery
+// itself.
+func (b BitVec) CountRange(off, n int) int {
+	c := 0
+	for n > 0 {
+		take := 64
+		if take > n {
+			take = n
+		}
+		c += bits.OnesCount64(b.rangeWord(off, take))
+		off += take
+		n -= take
+	}
+	return c
+}
+
 // rangeWord reads take (1..64) bits starting at bit offset off, low bit
 // first; bits past the end of b read as zero.
 func (b BitVec) rangeWord(off, take int) uint64 {

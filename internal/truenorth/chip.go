@@ -39,8 +39,9 @@ const ChipCapacity = 4096
 // take a compiled leak-only pass, and all remaining cores are skipped
 // outright. TickDense retains the original walk-every-core algorithm as the
 // reference oracle; the two are bit-identical in every observable (spike
-// trains, Stats, ExternalCounts, membrane potentials, PRNG streams) — the
-// parity contract pinned by event_test.go and docs/DETERMINISM.md.
+// trains, Stats, ExternalCounts, membrane potentials, PRNG streams, and NoC
+// counters when an observer is attached) — the parity contract pinned by
+// event_test.go and docs/DETERMINISM.md.
 type Chip struct {
 	// Capacity bounds AddCore; defaults to ChipCapacity.
 	Capacity int
@@ -82,6 +83,12 @@ type Chip struct {
 	faultGen     uint64
 	planFaultGen uint64
 	faultEval    []int
+
+	// noc, when non-nil, observes every routed core-to-core delivery and
+	// charges it mesh hops/link crossings under the attached placement.
+	// Strictly observer-only: see noc.go and the eighth contract in
+	// docs/DETERMINISM.md.
+	noc *NoCStats
 }
 
 // Stats aggregates simulation activity.
@@ -316,6 +323,19 @@ func (ch *Chip) deliver(i int) {
 		if delivered {
 			ch.markDirty(int(d.Core))
 		}
+		if ch.noc != nil {
+			// Each neuron routed to d.Core lies in exactly one of d's runs,
+			// so the popcount over the runs is the delivered spike count for
+			// this (src, dst) pair — the batched equivalent of TickDense's
+			// one-at-a-time accounting.
+			n := 0
+			for _, r := range d.Runs {
+				n += out.CountRange(int(r.Src), int(r.N))
+			}
+			if n > 0 {
+				ch.noc.record(i, int(d.Core), n)
+			}
+		}
 	}
 	if p.extSink != nil {
 		for wi, w := range out {
@@ -363,6 +383,9 @@ func (ch *Chip) TickDense() {
 			default:
 				ch.pending[t.Core].Set(t.Axon)
 				ch.markDirty(t.Core)
+				if ch.noc != nil {
+					ch.noc.record(i, t.Core, 1)
+				}
 			}
 		}
 	}
@@ -393,6 +416,9 @@ func (ch *Chip) ResetActivity() {
 		if f != nil {
 			f.seedDrop(ch.faultSeed, i)
 		}
+	}
+	if ch.noc != nil {
+		ch.noc.reset()
 	}
 	ch.stats = Stats{}
 }

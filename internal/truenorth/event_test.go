@@ -134,6 +134,187 @@ func checkChipsEqual(t *testing.T, tick int, a, b *Chip) {
 	}
 }
 
+// attachTestNoC attaches a NoC observer over a seed-scrambled placement: a
+// row-major layout shuffled by random swaps, so traffic crosses links in both
+// dimensions. Called with the same seed on same-shape chips it installs
+// identical placements, making the observers comparable.
+func attachTestNoC(t *testing.T, ch *Chip, seed uint64) {
+	t.Helper()
+	n := ch.NumCores()
+	p, err := PlaceRowMajor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewPCG32(seed, 601)
+	for k := 0; k < 3*n; k++ {
+		p.Swap(rng.Intn(src, n), rng.Intn(src, n))
+	}
+	if err := ch.SetNoC(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkNoCEqual compares two chips' NoC observers bit for bit: routed-spike
+// and hop totals, per-source-core counts and every per-link counter. Kept
+// separate from checkChipsEqual so the latter can also compare a NoC-on chip
+// against a NoC-off one (the observer-only contract).
+func checkNoCEqual(t *testing.T, tick int, a, b *Chip) {
+	t.Helper()
+	if (a.noc == nil) != (b.noc == nil) {
+		t.Fatalf("tick %d: NoC attached %v vs %v", tick, a.noc != nil, b.noc != nil)
+	}
+	if a.noc == nil {
+		return
+	}
+	if a.noc.Spikes != b.noc.Spikes || a.noc.Hops != b.noc.Hops {
+		t.Fatalf("tick %d: NoC spikes/hops %d/%d vs %d/%d",
+			tick, a.noc.Spikes, a.noc.Hops, b.noc.Spikes, b.noc.Hops)
+	}
+	if !reflect.DeepEqual(a.noc.CoreSpikes, b.noc.CoreSpikes) {
+		t.Fatalf("tick %d: NoC per-core spike counts diverged", tick)
+	}
+	if !reflect.DeepEqual(a.noc.HLink, b.noc.HLink) || !reflect.DeepEqual(a.noc.VLink, b.noc.VLink) {
+		t.Fatalf("tick %d: NoC link counters diverged", tick)
+	}
+}
+
+// TestNoCParityRandomized is the eighth determinism contract
+// (docs/DETERMINISM.md): over randomized networks, (1) the event-driven and
+// dense paths accumulate bit-identical NoC counters — the event path counts
+// per-destination popcount batches, the dense path one spike at a time — and
+// (2) the observer is invisible: a NoC-less twin driven identically stays
+// byte-identical to the NoC-on chips in every pre-existing observable, under
+// both tick implementations.
+func TestNoCParityRandomized(t *testing.T) {
+	const networks = 12
+	for n := 0; n < networks; n++ {
+		n := n
+		t.Run(fmt.Sprintf("net%02d", n), func(t *testing.T) {
+			seed := uint64(6000 + n*41)
+			event, dense, plain := buildRandomChip(seed), buildRandomChip(seed), buildRandomChip(seed)
+			attachTestNoC(t, event, seed)
+			attachTestNoC(t, dense, seed)
+			srcE, srcD, srcP := rng.NewPCG32(seed, 57), rng.NewPCG32(seed, 57), rng.NewPCG32(seed, 57)
+			for tick := 0; tick < 50; tick++ {
+				driveRandom(event, srcE)
+				driveRandom(dense, srcD)
+				driveRandom(plain, srcP)
+				event.Tick()
+				dense.TickDense()
+				if tick%2 == 0 {
+					plain.Tick()
+				} else {
+					plain.TickDense()
+				}
+				checkChipsEqual(t, tick, event, dense)
+				checkNoCEqual(t, tick, event, dense)
+				checkChipsEqual(t, tick, event, plain)
+			}
+			if event.NoC().Spikes == 0 {
+				t.Skip("degenerate net routed nothing on-chip") // seeds above avoid this in practice
+			}
+		})
+	}
+}
+
+// TestNoCHandComputed pins the mesh model against hand-computed values on the
+// two-core relay of TestStatsAccountingTwoCoreHandComputed, placed at (0,0)
+// and (2,3): every core-0 -> core-1 delivery is 5 hops (3 horizontal along
+// row 0, then 2 vertical down column 3), external spikes never enter the
+// mesh, and both tick paths agree.
+func TestNoCHandComputed(t *testing.T) {
+	build := func() *Chip {
+		ch := NewChip(77)
+		ch.SetExternalSinks(2)
+		i0, c0, _ := ch.AddCore(2, 2)
+		i1, c1, _ := ch.AddCore(1, 1)
+		c0.SetWeights(0, WeightTable{1, 0, 0, 0})
+		c0.SetWeights(1, WeightTable{1, 0, 0, 0})
+		c0.Connect(0, 0, 0)
+		c0.Connect(1, 0, 0)
+		c0.Connect(0, 1, 0)
+		c0.SetNeuron(0, NeuronConfig{Leak: -1})
+		c0.SetNeuron(1, NeuronConfig{Leak: -1})
+		c1.SetWeights(0, WeightTable{1, 0, 0, 0})
+		c1.Connect(0, 0, 0)
+		c1.SetNeuron(0, NeuronConfig{Leak: -1})
+		mustRoute(t, ch, i0, 0, Target{Core: i1, Axon: 0})
+		mustRoute(t, ch, i0, 1, Target{Core: External, Axon: 0})
+		mustRoute(t, ch, i1, 0, Target{Core: External, Axon: 1})
+		p := NewPlacement()
+		if err := p.Assign(i0, GridPos{Row: 0, Col: 0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Assign(i1, GridPos{Row: 2, Col: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.SetNoC(p); err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	for _, tc := range []struct {
+		name string
+		tick func(*Chip)
+	}{
+		{"event", (*Chip).Tick},
+		{"dense", (*Chip).TickDense},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ch := build()
+			ch.Inject(0, 0)
+			ch.Inject(0, 1)
+			tc.tick(ch) // neuron (0,0) -> core 1 (routed), neuron (0,1) -> sink 0
+			tc.tick(ch) // core 1 fires -> sink 1: off-chip, not charged
+			tc.tick(ch) // quiet
+			noc := ch.NoC()
+			if noc.Spikes != 1 || noc.Hops != 5 {
+				t.Fatalf("routed %d spikes / %d hops, want 1 / 5", noc.Spikes, noc.Hops)
+			}
+			if !reflect.DeepEqual(noc.CoreSpikes, []int64{1, 0}) {
+				t.Fatalf("per-core spikes %v", noc.CoreSpikes)
+			}
+			// X-then-Y from (0,0) to (2,3): horizontal links (0,0-1-2-3) on
+			// row 0, vertical links (0-1,3) and (1-2,3) on column 3.
+			for c := 0; c < 3; c++ {
+				if noc.HLink[0*(GridSide-1)+c] != 1 {
+					t.Fatalf("HLink row 0 col %d = %d, want 1", c, noc.HLink[c])
+				}
+			}
+			for r := 0; r < 2; r++ {
+				if noc.VLink[r*GridSide+3] != 1 {
+					t.Fatalf("VLink row %d col 3 = %d, want 1", r, noc.VLink[r*GridSide+3])
+				}
+			}
+			if got := noc.MaxLinkLoad(); got != 1 {
+				t.Fatalf("max link load %d, want 1", got)
+			}
+			if got := noc.MeanHopsPerSpike(); got != 5 {
+				t.Fatalf("mean hops %v, want 5", got)
+			}
+			if got, want := noc.EnergyJoules(), 5*HopEnergyJoules; got != want {
+				t.Fatalf("energy %g, want %g", got, want)
+			}
+			if got, want := noc.DeliveryLatencySeconds(), 5*HopLatencySeconds; got != want {
+				t.Fatalf("latency %g, want %g", got, want)
+			}
+			// ResetActivity zeroes counters but keeps the placement attached.
+			ch.ResetActivity()
+			if noc := ch.NoC(); noc == nil || noc.Spikes != 0 || noc.Hops != 0 || noc.MaxLinkLoad() != 0 {
+				t.Fatalf("reset left NoC state %+v", noc)
+			}
+			if ch.NoC().Placement() == nil {
+				t.Fatal("reset dropped the placement")
+			}
+			ch.ClearNoC()
+			if ch.NoC() != nil {
+				t.Fatal("ClearNoC did not detach")
+			}
+			tc.tick(ch) // must not panic with the observer detached
+		})
+	}
+}
+
 // TestEventTickMatchesDenseRandomized is the event-driven-vs-dense parity
 // contract (docs/DETERMINISM.md): over randomized networks mixing integer,
 // fractional and persistent neurons with random routing, Tick and TickDense
@@ -610,16 +791,26 @@ func TestEventTickMatchesDenseFaulted(t *testing.T) {
 		t.Run(model, func(t *testing.T) {
 			for n := 0; n < 8; n++ {
 				seed := uint64(9000 + n*31)
-				event, dense := buildRandomChip(seed), buildRandomChip(seed)
+				// plain is a NoC-less faulted twin: comparing it against the
+				// NoC-on event chip extends the observer-only contract to
+				// every fault model.
+				event, dense, plain := buildRandomChip(seed), buildRandomChip(seed), buildRandomChip(seed)
+				attachTestNoC(t, event, seed)
+				attachTestNoC(t, dense, seed)
 				applyFaultModel(t, event, model, rng.NewPCG32(seed, 501))
 				applyFaultModel(t, dense, model, rng.NewPCG32(seed, 501))
-				srcE, srcD := rng.NewPCG32(seed, 202), rng.NewPCG32(seed, 202)
+				applyFaultModel(t, plain, model, rng.NewPCG32(seed, 501))
+				srcE, srcD, srcP := rng.NewPCG32(seed, 202), rng.NewPCG32(seed, 202), rng.NewPCG32(seed, 202)
 				for tick := 0; tick < 50; tick++ {
 					driveRandom(event, srcE)
 					driveRandom(dense, srcD)
+					driveRandom(plain, srcP)
 					event.Tick()
 					dense.TickDense()
+					plain.Tick()
 					checkChipsEqual(t, tick, event, dense)
+					checkNoCEqual(t, tick, event, dense)
+					checkChipsEqual(t, tick, event, plain)
 				}
 			}
 		})
@@ -633,6 +824,10 @@ func TestEventFaultReconfigMidRun(t *testing.T) {
 	for n := 0; n < 6; n++ {
 		seed := uint64(7100 + n*17)
 		event, dense := buildRandomChip(seed), buildRandomChip(seed)
+		// NoC counters must also stay in lockstep through every fault-plan
+		// transition.
+		attachTestNoC(t, event, seed)
+		attachTestNoC(t, dense, seed)
 		srcE, srcD := rng.NewPCG32(seed, 203), rng.NewPCG32(seed, 203)
 		reconfig := func(tick int) {
 			switch tick {
@@ -660,6 +855,7 @@ func TestEventFaultReconfigMidRun(t *testing.T) {
 			event.Tick()
 			dense.TickDense()
 			checkChipsEqual(t, tick, event, dense)
+			checkNoCEqual(t, tick, event, dense)
 		}
 	}
 }
